@@ -1,0 +1,138 @@
+// Command rlwe-channel runs the post-quantum secure channel from the
+// command line: a server that answers with an echo service, and a client
+// that sends lines to it — a minimal netcat-style tool over the ring-LWE
+// KEM handshake.
+//
+//	rlwe-channel serve   -addr 127.0.0.1:9999 -params P1
+//	rlwe-channel connect -addr 127.0.0.1:9999 -params P1 -msg "hello"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"ringlwe"
+	"ringlwe/internal/protocol"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen/connect address")
+	paramsName := fs.String("params", "P1", "parameter set: P1 or P2")
+	msg := fs.String("msg", "ping", "message to send (connect mode)")
+	count := fs.Int("count", 3, "how many messages to send (connect mode)")
+	once := fs.Bool("once", false, "serve a single connection and exit")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	var params *ringlwe.Params
+	switch strings.ToUpper(*paramsName) {
+	case "P1":
+		params = ringlwe.P1()
+	case "P2":
+		params = ringlwe.P2()
+	default:
+		fatal(fmt.Errorf("unknown parameter set %q", *paramsName))
+	}
+
+	switch cmd {
+	case "serve":
+		serve(*addr, params, *once)
+	case "connect":
+		connect(*addr, params, *msg, *count)
+	default:
+		usage()
+	}
+}
+
+func serve(addr string, params *ringlwe.Params, once bool) {
+	scheme := ringlwe.New(params)
+	pk, sk, err := scheme.GenerateKeys()
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("listening on %s (%s, %d B public key)\n",
+		ln.Addr(), params.Name(), params.PublicKeySize())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		handle(conn, scheme, pk, sk)
+		if once {
+			return
+		}
+	}
+}
+
+func handle(conn net.Conn, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ringlwe.PrivateKey) {
+	defer conn.Close()
+	ch, err := protocol.Server(conn, scheme, pk, sk)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "handshake with %s failed: %v\n", conn.RemoteAddr(), err)
+		return
+	}
+	fmt.Printf("channel with %s established (%d KEM retries)\n", conn.RemoteAddr(), ch.Retries)
+	for {
+		m, err := ch.Recv()
+		if err != nil {
+			fmt.Printf("connection %s closed: %v\n", conn.RemoteAddr(), err)
+			return
+		}
+		fmt.Printf("  recv %q\n", m)
+		if err := ch.Send(append([]byte("echo: "), m...)); err != nil {
+			fmt.Fprintf(os.Stderr, "send failed: %v\n", err)
+			return
+		}
+	}
+}
+
+func connect(addr string, params *ringlwe.Params, msg string, count int) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	scheme := ringlwe.New(params)
+	ch, err := protocol.Client(conn, scheme, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("connected to %s over a %s channel\n", addr, params.Name())
+	for i := 0; i < count; i++ {
+		line := fmt.Sprintf("%s #%d", msg, i+1)
+		if err := ch.Send([]byte(line)); err != nil {
+			fatal(err)
+		}
+		reply, err := ch.Recv()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %q → %q\n", line, reply)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlwe-channel:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rlwe-channel serve   -addr HOST:PORT -params P1|P2 [-once]
+  rlwe-channel connect -addr HOST:PORT -params P1|P2 [-msg TEXT] [-count N]`)
+	os.Exit(2)
+}

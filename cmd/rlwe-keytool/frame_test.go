@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, msg := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("attack at dawn"),
+		bytes.Repeat([]byte{0xAB}, 31),
+	} {
+		framed, err := frame(msg, 32)
+		if err != nil {
+			t.Fatalf("frame(%d bytes): %v", len(msg), err)
+		}
+		if len(framed) != 32 {
+			t.Fatalf("framed length %d", len(framed))
+		}
+		got, err := unframe(framed)
+		if err != nil {
+			t.Fatalf("unframe: %v", err)
+		}
+		if !bytes.Equal(got, msg) && !(len(msg) == 0 && len(got) == 0) {
+			t.Fatalf("round trip: got %q, want %q", got, msg)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if _, err := frame(make([]byte, 32), 32); err == nil {
+		t.Error("32-byte message accepted into a 32-byte frame (needs the length byte)")
+	}
+	if _, err := frame(make([]byte, 100), 32); err == nil {
+		t.Error("oversized message accepted")
+	}
+}
+
+func TestUnframeRejectsCorruptLength(t *testing.T) {
+	bad := make([]byte, 32)
+	bad[0] = 200 // claims 200 payload bytes in a 32-byte frame
+	if _, err := unframe(bad); err == nil {
+		t.Error("corrupt length byte accepted")
+	}
+	if _, err := unframe(nil); err == nil {
+		t.Error("empty plaintext accepted")
+	}
+}

@@ -1,0 +1,179 @@
+// Command rlwe-keytool is a file-level interface to the ring-LWE
+// encryption scheme: key generation, encryption and decryption with
+// hex-encoded artifacts.
+//
+// Usage:
+//
+//	rlwe-keytool keygen  -params P1 -pub pub.hex -priv priv.hex
+//	rlwe-keytool encrypt -params P1 -pub pub.hex -in msg.bin -out ct.hex
+//	rlwe-keytool decrypt -params P1 -priv priv.hex -in ct.hex -out msg.bin
+//
+// Messages must be exactly MessageSize bytes (32 for P1, 64 for P2); the
+// encrypt command zero-pads shorter inputs and records the true length in
+// the first byte, so round trips preserve content up to MessageSize-1
+// bytes.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ringlwe"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	paramsName := fs.String("params", "P1", "parameter set: P1 or P2")
+	pubPath := fs.String("pub", "", "public key file (hex)")
+	privPath := fs.String("priv", "", "private key file (hex)")
+	inPath := fs.String("in", "", "input file")
+	outPath := fs.String("out", "", "output file")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	var params *ringlwe.Params
+	switch strings.ToUpper(*paramsName) {
+	case "P1":
+		params = ringlwe.P1()
+	case "P2":
+		params = ringlwe.P2()
+	default:
+		fatal(fmt.Errorf("unknown parameter set %q (have P1, P2)", *paramsName))
+	}
+	scheme := ringlwe.New(params)
+
+	switch cmd {
+	case "keygen":
+		need(*pubPath != "", "-pub")
+		need(*privPath != "", "-priv")
+		pk, sk, err := scheme.GenerateKeys()
+		if err != nil {
+			fatal(err)
+		}
+		writeHex(*pubPath, pk.Bytes())
+		writeHex(*privPath, sk.Bytes())
+		fmt.Printf("wrote %s (%d B) and %s (%d B)\n",
+			*pubPath, len(pk.Bytes()), *privPath, len(sk.Bytes()))
+
+	case "encrypt":
+		need(*pubPath != "", "-pub")
+		need(*inPath != "", "-in")
+		need(*outPath != "", "-out")
+		pk, err := ringlwe.ParsePublicKey(params, readHex(*pubPath))
+		if err != nil {
+			fatal(err)
+		}
+		msg, err := os.ReadFile(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		framed, err := frame(msg, params.MessageSize())
+		if err != nil {
+			fatal(err)
+		}
+		ct, err := scheme.Encrypt(pk, framed)
+		if err != nil {
+			fatal(err)
+		}
+		writeHex(*outPath, ct.Bytes())
+		fmt.Printf("encrypted %d bytes → %s (%d B ciphertext)\n",
+			len(msg), *outPath, len(ct.Bytes()))
+
+	case "decrypt":
+		need(*privPath != "", "-priv")
+		need(*inPath != "", "-in")
+		need(*outPath != "", "-out")
+		sk, err := ringlwe.ParsePrivateKey(params, readHex(*privPath))
+		if err != nil {
+			fatal(err)
+		}
+		ct, err := ringlwe.ParseCiphertext(params, readHex(*inPath))
+		if err != nil {
+			fatal(err)
+		}
+		framed, err := sk.Decrypt(ct)
+		if err != nil {
+			fatal(err)
+		}
+		msg, err := unframe(framed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, msg, 0o600); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("decrypted → %s (%d B)\n", *outPath, len(msg))
+
+	default:
+		usage()
+	}
+}
+
+// frame packs msg into a fixed-size plaintext: length byte + payload + zero
+// padding.
+func frame(msg []byte, size int) ([]byte, error) {
+	if len(msg) > size-1 {
+		return nil, fmt.Errorf("message is %d bytes; at most %d fit one %d-byte plaintext",
+			len(msg), size-1, size)
+	}
+	out := make([]byte, size)
+	out[0] = byte(len(msg))
+	copy(out[1:], msg)
+	return out, nil
+}
+
+func unframe(framed []byte) ([]byte, error) {
+	if len(framed) == 0 {
+		return nil, fmt.Errorf("empty plaintext")
+	}
+	n := int(framed[0])
+	if n > len(framed)-1 {
+		return nil, fmt.Errorf("corrupt length byte %d (plaintext is %d bytes; possible decryption failure)", n, len(framed))
+	}
+	return framed[1 : 1+n], nil
+}
+
+func need(ok bool, flagName string) {
+	if !ok {
+		fatal(fmt.Errorf("missing required flag %s", flagName))
+	}
+}
+
+func writeHex(path string, data []byte) {
+	if err := os.WriteFile(path, []byte(hex.EncodeToString(data)+"\n"), 0o600); err != nil {
+		fatal(err)
+	}
+}
+
+func readHex(path string) []byte {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return data
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlwe-keytool:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rlwe-keytool keygen  -params P1|P2 -pub FILE -priv FILE
+  rlwe-keytool encrypt -params P1|P2 -pub FILE -in FILE -out FILE
+  rlwe-keytool decrypt -params P1|P2 -priv FILE -in FILE -out FILE`)
+	os.Exit(2)
+}

@@ -1,0 +1,62 @@
+// Command rlwe-tables regenerates the evaluation tables and figures of the
+// DATE 2015 paper from this repository's implementations: modeled
+// Cortex-M4F cycles next to the paper's measured values, with deltas.
+//
+// Usage:
+//
+//	rlwe-tables              # everything
+//	rlwe-tables -table 1     # one table (1-4)
+//	rlwe-tables -figure 2    # one figure (1-2)
+//	rlwe-tables -prose       # the §IV-A prose claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ringlwe/internal/paper"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render one table (1-4)")
+	figure := flag.Int("figure", 0, "render one figure (1-2)")
+	prose := flag.Bool("prose", false, "render the §IV-A prose claims")
+	extensions := flag.Bool("extensions", false, "render the beyond-paper extension measurements")
+	flag.Parse()
+
+	out := os.Stdout
+	switch {
+	case *extensions:
+		paper.Extensions().Render(out)
+		return
+	case *table != 0:
+		switch *table {
+		case 1:
+			paper.TableI().Render(out)
+		case 2:
+			paper.TableII().Render(out)
+		case 3:
+			paper.TableIII().Render(out)
+		case 4:
+			paper.TableIV().Render(out)
+		default:
+			fmt.Fprintf(os.Stderr, "rlwe-tables: no table %d (have 1-4)\n", *table)
+			os.Exit(2)
+		}
+	case *figure != 0:
+		switch *figure {
+		case 1:
+			paper.Figure1(out)
+		case 2:
+			paper.Figure2().Render(out)
+		default:
+			fmt.Fprintf(os.Stderr, "rlwe-tables: no figure %d (have 1-2)\n", *figure)
+			os.Exit(2)
+		}
+	case *prose:
+		paper.Prose().Render(out)
+	default:
+		paper.All(out)
+	}
+}

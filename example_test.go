@@ -1,0 +1,81 @@
+package ringlwe_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ringlwe"
+)
+
+// Encrypt and decrypt one message under the medium-term parameter set.
+// (Deterministic seeds keep the example's output stable; production code
+// uses ringlwe.New.)
+func Example() {
+	params := ringlwe.P1()
+	scheme := ringlwe.NewDeterministic(params, 1)
+
+	pub, priv, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+
+	msg := make([]byte, params.MessageSize())
+	copy(msg, "post-quantum greetings")
+
+	ct, err := scheme.Encrypt(pub, msg)
+	if err != nil {
+		panic(err)
+	}
+	plain, err := priv.Decrypt(ct)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bytes.Equal(plain, msg))
+	// Output: true
+}
+
+// Transport a session key with failure detection: the KEM's confirmation
+// tag converts the scheme's intrinsic decryption-failure rate into a
+// detectable, retryable error.
+func ExampleScheme_Encapsulate() {
+	scheme := ringlwe.NewDeterministic(ringlwe.P1(), 2)
+	pub, priv, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+
+	for {
+		blob, senderKey, err := scheme.Encapsulate(pub)
+		if err != nil {
+			panic(err)
+		}
+		receiverKey, err := scheme.Decapsulate(priv, blob)
+		if errors.Is(err, ringlwe.ErrDecapsulation) {
+			continue // intrinsic failure: encapsulate again
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(senderKey == receiverKey)
+		break
+	}
+	// Output: true
+}
+
+// Keys and ciphertexts serialize to fixed-size blobs.
+func ExamplePublicKey_Bytes() {
+	params := ringlwe.P2()
+	scheme := ringlwe.NewDeterministic(params, 3)
+	pub, _, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+	data := pub.Bytes()
+	back, err := ringlwe.ParsePublicKey(params, data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(data), back.Params().Name())
+	// Output: 1793 P2
+}

@@ -1,0 +1,49 @@
+// Quickstart: generate a key pair, encrypt a message, decrypt it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ringlwe"
+)
+
+func main() {
+	// P1 is the paper's medium-term security set: n=256, q=7681. One
+	// plaintext carries 32 bytes (one bit per ring coefficient).
+	params := ringlwe.P1()
+	scheme := ringlwe.New(params) // crypto/rand-backed
+
+	pub, priv, err := scheme.GenerateKeys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parameter set %s: n=%d q=%d σ=%.3f\n",
+		params.Name(), params.N(), params.Q(), params.Sigma())
+	fmt.Printf("public key %d B, private key %d B, ciphertext %d B\n",
+		params.PublicKeySize(), params.PrivateKeySize(), params.CiphertextSize())
+
+	msg := make([]byte, params.MessageSize())
+	copy(msg, "ring-LWE on a microcontroller!")
+
+	ct, err := scheme.Encrypt(pub, msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encrypted %d-byte message → %d-byte ciphertext\n",
+		len(msg), len(ct.Bytes()))
+
+	got, err := priv.Decrypt(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decrypted: %q\n", string(got[:30]))
+
+	// The scheme has a small intrinsic failure probability — the price of
+	// the compact LPR construction. For key transport, use the KEM, which
+	// detects failures (see examples/hybrid-kem).
+	perBit, perMsg := params.FailureRate()
+	fmt.Printf("analytic failure rate: %.2e per bit, %.2e per message\n", perBit, perMsg)
+}

@@ -1,0 +1,75 @@
+package ringlwe
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for the deserialization and decapsulation surfaces —
+// the two places attacker-controlled bytes enter the library. Run the seed
+// corpus as part of `go test`; fuzz longer with `go test -fuzz=Fuzz...`.
+
+func FuzzParseCiphertext(f *testing.F) {
+	p := P1()
+	s := NewDeterministic(p, 9001)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := s.Encrypt(pk, make([]byte, p.MessageSize()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ct.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 833))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ParseCiphertext(p, data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-serialize identically.
+		if !bytes.Equal(parsed.Bytes(), data) {
+			t.Fatalf("accepted ciphertext does not round-trip")
+		}
+	})
+}
+
+func FuzzParsePublicKey(f *testing.F) {
+	p := P1()
+	s := NewDeterministic(p, 9002)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pk.Bytes())
+	f.Add(make([]byte, 833))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ParsePublicKey(p, data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(parsed.Bytes(), data) {
+			t.Fatalf("accepted public key does not round-trip")
+		}
+	})
+}
+
+func FuzzDecapsulate(f *testing.F) {
+	p := P1()
+	s := NewDeterministic(p, 9003)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, _, err := s.Encapsulate(pk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(blob))
+	f.Add(make([]byte, p.EncapsulationSize()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are the expected outcome for garbage.
+		_, _ = s.Decapsulate(sk, EncapsulatedKey(data))
+	})
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlwe/internal/ntt"
+)
+
+// Constant-time message codec — the paper's future-work item ("we further
+// intend to extend our scheme to allow for constant-time execution", §V).
+// Encode/Decode are the scheme steps that touch plaintext bits directly,
+// so they are the first candidates for hardening; these variants use only
+// branchless arithmetic with no secret-dependent control flow or memory
+// indexing. The remaining variable-time components are the Knuth-Yao
+// sampler (inherently input-dependent; the constant-time CDT sampler in
+// internal/gauss is the drop-in alternative) and Go's own scheduler noise.
+
+// EncodeConstantTime is Encode without secret-dependent branches: the
+// message bit selects 0 or ⌊q/2⌋ through a mask.
+func EncodeConstantTime(p *Params, msg []byte) (ntt.Poly, error) {
+	if len(msg) != p.MessageBytes() {
+		return nil, errMessageSize(p, len(msg))
+	}
+	half := p.Q / 2
+	out := make(ntt.Poly, p.N)
+	for i := 0; i < p.N; i++ {
+		bit := uint32(msg[i/8]>>(i%8)) & 1
+		out[i] = half & -bit // mask is all-ones when bit = 1
+	}
+	return out, nil
+}
+
+// DecodeConstantTime is Decode without secret-dependent branches: the
+// threshold test q/4 < c < 3q/4 becomes two borrow extractions.
+func DecodeConstantTime(p *Params, m ntt.Poly) []byte {
+	out := make([]byte, p.MessageBytes())
+	q := uint64(p.Q)
+	for i := 0; i < p.N; i++ {
+		c4 := 4 * uint64(m[i])
+		// gtLo = 1 iff 4c > q; gtHi = 1 iff 4c > 3q. Both thresholds are
+		// odd multiples of q with c4 even, so equality cannot occur and
+		// strict/non-strict coincide.
+		gtLo := (q - c4 - 1) >> 63 // borrow of q - 4c
+		gtHi := (3*q - c4 - 1) >> 63
+		bit := byte(gtLo &^ gtHi)
+		out[i/8] |= bit << (i % 8)
+	}
+	return out
+}
+
+func errMessageSize(p *Params, got int) error {
+	return fmt.Errorf("core: message is %d bytes, want %d", got, p.MessageBytes())
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/rng"
+)
+
+// The constant-time decoder must agree with the branchy one on every
+// possible coefficient value — exhaustive over [0, q).
+func TestDecodeConstantTimeExhaustive(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		poly := make(ntt.Poly, p.N)
+		for c := uint32(0); c < p.Q; c += uint32(p.N) {
+			// Fill the polynomial with a window of consecutive values so
+			// each pass covers N coefficients.
+			for i := 0; i < p.N; i++ {
+				v := c + uint32(i)
+				if v >= p.Q {
+					v = p.Q - 1
+				}
+				poly[i] = v
+			}
+			a := Decode(p, poly)
+			b := DecodeConstantTime(p, poly)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: decoders disagree in window starting at %d", p.Name, c)
+			}
+		}
+	}
+}
+
+func TestEncodeConstantTimeMatchesEncode(t *testing.T) {
+	p := P1()
+	src := rng.NewXorshift128(77)
+	for trial := 0; trial < 100; trial++ {
+		msg := randMessage(src, p.MessageBytes())
+		a, err := Encode(p, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EncodeConstantTime(p, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPoly(a, b) {
+			t.Fatal("encoders disagree")
+		}
+	}
+	if _, err := EncodeConstantTime(p, make([]byte, 3)); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+// End to end: a scheme round trip where decoding goes through the
+// constant-time path.
+func TestConstantTimeDecodeEndToEnd(t *testing.T) {
+	p := P1()
+	s := newScheme(t, p, 55)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := randMessage(rng.NewXorshift128(56), p.MessageBytes())
+	ct, err := s.Encrypt(pk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mprime, err := sk.DecryptToPoly(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeConstantTime(p, mprime)
+	want := Decode(p, mprime)
+	if !bytes.Equal(got, want) {
+		t.Fatal("constant-time decode diverges from reference on a real decryption")
+	}
+}
+
+func BenchmarkDecodeBranchy(b *testing.B) {
+	p := P1()
+	poly := make(ntt.Poly, p.N)
+	for i := range poly {
+		poly[i] = uint32(i*29) % p.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(p, poly)
+	}
+}
+
+func BenchmarkDecodeConstantTime(b *testing.B) {
+	p := P1()
+	poly := make(ntt.Poly, p.N)
+	for i := range poly {
+		poly[i] = uint32(i*29) % p.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeConstantTime(p, poly)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ringlwe/internal/rng"
+)
+
+// Parsers must reject or accept random blobs without ever panicking, and
+// accepted blobs must re-serialize to themselves.
+func TestParseRandomBlobsQuick(t *testing.T) {
+	p := P1()
+	src := rng.NewXorshift128(404)
+
+	blob := func(size int) []byte {
+		b := make([]byte, size)
+		for i := range b {
+			b[i] = byte(src.Uint32())
+		}
+		return b
+	}
+
+	f := func(sizeSeed uint16, correctSize bool) bool {
+		var data []byte
+		if correctSize {
+			data = blob(1 + 2*p.PolyBytes())
+			data[0] = 1 // valid tag so the coefficient checks run
+		} else {
+			data = blob(int(sizeSeed) % 2000)
+		}
+		pk, err := ParsePublicKey(p, data)
+		if err != nil {
+			return true // rejection is fine; panics are not
+		}
+		// Accepted: must round-trip identically.
+		out := pk.Bytes()
+		if len(out) != len(data) {
+			return false
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+
+	g := func(sizeSeed uint16) bool {
+		data := blob(int(sizeSeed) % 1200)
+		_, err := ParseCiphertext(p, data)
+		_, err2 := ParsePrivateKey(p, data)
+		_ = err
+		_ = err2
+		return true // no panic is the property
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Serialization is a bijection on valid objects: random keys and
+// ciphertexts round-trip bit exactly.
+func TestSerializationBijectionQuick(t *testing.T) {
+	p := P1()
+	s := newScheme(t, p, 505)
+	f := func(seed uint8) bool {
+		pk, sk, err := s.GenerateKeys()
+		if err != nil {
+			return false
+		}
+		msg := make([]byte, p.MessageBytes())
+		msg[0] = seed
+		ct, err := s.Encrypt(pk, msg)
+		if err != nil {
+			return false
+		}
+		pk2, err := ParsePublicKey(p, pk.Bytes())
+		if err != nil || !equalPoly(pk2.A, pk.A) || !equalPoly(pk2.P, pk.P) {
+			return false
+		}
+		sk2, err := ParsePrivateKey(p, sk.Bytes())
+		if err != nil || !equalPoly(sk2.R2, sk.R2) {
+			return false
+		}
+		ct2, err := ParseCiphertext(p, ct.Bytes())
+		if err != nil || !equalPoly(ct2.C1, ct.C1) || !equalPoly(ct2.C2, ct.C2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

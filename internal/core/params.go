@@ -1,0 +1,155 @@
+// Package core implements the ring-LWE public-key encryption scheme of the
+// DATE 2015 paper in the NTT-domain formulation it adopts from Roy et al.
+// (CHES 2014, [7]): keys and ciphertexts live permanently in the transform
+// domain, which reduces encryption to three forward NTTs and decryption to a
+// single inverse NTT.
+//
+// The scheme is the Lyubashevsky-Peikert-Regev (LPR) cryptosystem over
+// R_q = Z_q[x]/(x^n + 1):
+//
+//	KeyGen(ã):   r1, r2 ← X_σ;  p̃ = NTT(r1) − ã ∘ NTT(r2)
+//	             public key (ã, p̃), private key NTT(r2)
+//	Encrypt:     e1, e2, e3 ← X_σ;  m̄ = encode(m)
+//	             c̃1 = ã ∘ NTT(e1) + NTT(e2)
+//	             c̃2 = p̃ ∘ NTT(e1) + NTT(e3 + m̄)
+//	Decrypt:     m = decode(INTT(c̃1 ∘ r̃2 + c̃2))
+//
+// Message bits are encoded as 0 or ⌊q/2⌋ and decoded with the threshold
+// test q/4 < c < 3q/4. Like the paper (and the underlying LPR scheme), a
+// ciphertext decrypts incorrectly with small probability (≈ 10^-5 per
+// coefficient at P1); EstimateFailureRate quantifies this and the
+// EXPERIMENTS harness measures it.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ringlwe/internal/gauss"
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/rng"
+	"ringlwe/internal/zq"
+)
+
+// Params bundles every precomputed object one parameter set needs: the
+// modulus with its Barrett constants, the NTT twiddle tables, the Knuth-Yao
+// probability matrix and its lookup tables. Params are immutable after
+// construction and safe to share between goroutines; the stateful objects
+// (samplers, schemes) are created per source.
+type Params struct {
+	// Name identifies the set in output ("P1", "P2").
+	Name string
+	// N is the ring dimension, Q the modulus.
+	N int
+	Q uint32
+	// SNum/SDen give the Gaussian parameter s = σ·√(2π) as an exact
+	// rational (1131/100 for P1).
+	SNum, SDen int64
+	// Sigma is the standard deviation of the error distribution.
+	Sigma float64
+
+	Mod    *zq.Modulus
+	Tables *ntt.Tables
+	Matrix *gauss.Matrix
+
+	lut1, lut2 []uint8
+	maxFailD   int
+}
+
+// NewParams validates and precomputes a parameter set. lambda is the
+// statistical-distance exponent for the sampler tables (the paper uses 90).
+func NewParams(name string, n int, q uint32, sNum, sDen int64, lambda int) (*Params, error) {
+	mod, err := zq.NewModulus(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tables, err := ntt.NewTables(mod, n)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if n%8 != 0 {
+		return nil, fmt.Errorf("core: ring dimension %d must be a multiple of 8 for byte packing", n)
+	}
+	sigma := (float64(sNum) / float64(sDen)) / math.Sqrt(2*math.Pi)
+	rows, cols := gauss.Size(sigma, lambda)
+	mat, err := gauss.NewMatrixFromS(sNum, sDen, rows, cols)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	lut1, maxD, err := gauss.BuildLUT1(mat)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	lut2, err := gauss.BuildLUT2(mat, maxD)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Params{
+		Name: name, N: n, Q: q,
+		SNum: sNum, SDen: sDen, Sigma: sigma,
+		Mod: mod, Tables: tables, Matrix: mat,
+		lut1: lut1, lut2: lut2, maxFailD: maxD,
+	}, nil
+}
+
+// NewSampler returns a fresh Knuth-Yao sampler (full paper configuration:
+// LUTs plus clz scanning) drawing from src, reusing the precomputed tables.
+func (p *Params) NewSampler(src rng.Source) (*gauss.Sampler, error) {
+	return gauss.NewSampler(p.Matrix, src,
+		gauss.WithPrebuiltLUTs(p.lut1, p.lut2, p.maxFailD))
+}
+
+// CoeffBits returns the serialized width of one coefficient (13 for P1, 14
+// for P2).
+func (p *Params) CoeffBits() uint { return p.Mod.BitLen() }
+
+// PolyBytes returns the serialized size of one polynomial.
+func (p *Params) PolyBytes() int { return (p.N*int(p.CoeffBits()) + 7) / 8 }
+
+// MessageBytes returns the plaintext size: one bit per ring coefficient.
+func (p *Params) MessageBytes() int { return p.N / 8 }
+
+// EstimateFailureRate returns the analytic per-coefficient and per-message
+// decryption failure probabilities under the Gaussian approximation: the
+// decryption noise e1·r1 + e2·r2 + e3 has per-coefficient variance
+// 2nσ⁴ + σ², and a coefficient fails when the noise magnitude exceeds q/4.
+func (p *Params) EstimateFailureRate() (perCoeff, perMessage float64) {
+	variance := 2*float64(p.N)*math.Pow(p.Sigma, 4) + p.Sigma*p.Sigma
+	std := math.Sqrt(variance)
+	t := float64(p.Q) / 4 / std
+	perCoeff = math.Erfc(t / math.Sqrt2) // two-sided tail
+	perMessage = 1 - math.Pow(1-perCoeff, float64(p.N))
+	return perCoeff, perMessage
+}
+
+var (
+	p1Once, p2Once sync.Once
+	p1Set, p2Set   *Params
+)
+
+// P1 returns the paper's medium-term security set (n=256, q=7681,
+// σ=11.31/√2π). The heavy precomputation runs once per process.
+func P1() *Params {
+	p1Once.Do(func() {
+		p, err := NewParams("P1", 256, 7681, 1131, 100, 90)
+		if err != nil {
+			panic(err)
+		}
+		p1Set = p
+	})
+	return p1Set
+}
+
+// P2 returns the paper's long-term security set (n=512, q=12289,
+// σ=12.18/√2π).
+func P2() *Params {
+	p2Once.Do(func() {
+		p, err := NewParams("P2", 512, 12289, 1218, 100, 90)
+		if err != nil {
+			panic(err)
+		}
+		p2Set = p
+	})
+	return p2Set
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ringlwe/internal/gauss"
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/rng"
+)
+
+// PublicKey is (ã, p̃), both in the NTT domain.
+type PublicKey struct {
+	Params *Params
+	A, P   ntt.Poly
+}
+
+// PrivateKey is r̃2 in the NTT domain.
+type PrivateKey struct {
+	Params *Params
+	R2     ntt.Poly
+}
+
+// Ciphertext is (c̃1, c̃2), both in the NTT domain.
+type Ciphertext struct {
+	Params *Params
+	C1, C2 ntt.Poly
+}
+
+// Scheme is a stateful encryption context: parameters plus a discrete
+// Gaussian sampler and a uniform bit pool bound to one randomness source.
+// Not safe for concurrent use (mirroring the single-core target); create
+// one Scheme per goroutine, sharing the immutable Params.
+type Scheme struct {
+	Params  *Params
+	sampler *gauss.Sampler
+	uniform *rng.BitPool
+}
+
+// New builds a Scheme over params drawing all randomness from src.
+func New(params *Params, src rng.Source) (*Scheme, error) {
+	s, err := params.NewSampler(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{
+		Params:  params,
+		sampler: s,
+		uniform: rng.NewBitPool(src),
+	}, nil
+}
+
+// UniformPoly samples a polynomial with independent uniform coefficients in
+// [0, q) by rejection from CoeffBits-bit strings (no modulo bias).
+func (s *Scheme) UniformPoly() ntt.Poly {
+	p := s.Params
+	out := make(ntt.Poly, p.N)
+	bits := p.CoeffBits()
+	for i := range out {
+		for {
+			v := s.uniform.Bits(bits)
+			if v < p.Q {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
+// errorPoly samples one X_σ error polynomial, coefficients reduced mod q.
+func (s *Scheme) errorPoly() ntt.Poly {
+	p := make(ntt.Poly, s.Params.N)
+	s.sampler.SamplePoly(p, s.Params.Q)
+	return p
+}
+
+// GenerateKeys creates a key pair under a freshly sampled global polynomial
+// ã. The paper's KeyGeneration(ã) flow with ã as a shared system parameter
+// is available via GenerateKeysShared.
+func (s *Scheme) GenerateKeys() (*PublicKey, *PrivateKey, error) {
+	a := s.UniformPoly() // already interpreted in the NTT domain
+	return s.GenerateKeysShared(a)
+}
+
+// GenerateKeysShared creates a key pair under the given NTT-domain ã:
+// r̃1 = NTT(r1), r̃2 = NTT(r2), p̃ = r̃1 − ã ∘ r̃2.
+func (s *Scheme) GenerateKeysShared(a ntt.Poly) (*PublicKey, *PrivateKey, error) {
+	p := s.Params
+	if len(a) != p.N {
+		return nil, nil, fmt.Errorf("core: ã has %d coefficients, want %d", len(a), p.N)
+	}
+	t := p.Tables
+
+	r1 := s.errorPoly()
+	r2 := s.errorPoly()
+	t.Forward(r1)
+	t.Forward(r2)
+
+	pk := &PublicKey{Params: p, A: append(ntt.Poly(nil), a...), P: make(ntt.Poly, p.N)}
+	t.PointwiseMul(pk.P, pk.A, r2)
+	t.Sub(pk.P, r1, pk.P) // p̃ = r̃1 − ã∘r̃2
+
+	sk := &PrivateKey{Params: p, R2: r2}
+	return pk, sk, nil
+}
+
+// Encode maps a message of MessageBytes bytes to the polynomial m̄ whose
+// coefficient i is ⌊q/2⌋·bit_i (bit i = bit i%8 of byte i/8).
+func Encode(p *Params, msg []byte) (ntt.Poly, error) {
+	if len(msg) != p.MessageBytes() {
+		return nil, fmt.Errorf("core: message is %d bytes, want %d", len(msg), p.MessageBytes())
+	}
+	half := p.Q / 2
+	out := make(ntt.Poly, p.N)
+	for i := 0; i < p.N; i++ {
+		if msg[i/8]>>(i%8)&1 == 1 {
+			out[i] = half
+		}
+	}
+	return out, nil
+}
+
+// Decode inverts Encode with the threshold test: coefficient c decodes to 1
+// iff q/4 < c < 3q/4, i.e. iff c is closer to q/2 than to 0 (mod q).
+func Decode(p *Params, m ntt.Poly) []byte {
+	out := make([]byte, p.MessageBytes())
+	for i := 0; i < p.N; i++ {
+		c := uint64(m[i])
+		if 4*c > uint64(p.Q) && 4*c < 3*uint64(p.Q) {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// Encrypt produces (c̃1, c̃2) for a MessageBytes-byte message. It samples
+// three error polynomials and performs three forward NTTs, two pointwise
+// multiplications and three additions — the paper's §II-C operation count.
+func (s *Scheme) Encrypt(pk *PublicKey, msg []byte) (*Ciphertext, error) {
+	p := s.Params
+	if pk.Params != p {
+		return nil, errors.New("core: public key parameter set mismatch")
+	}
+	mbar, err := Encode(p, msg)
+	if err != nil {
+		return nil, err
+	}
+	t := p.Tables
+
+	e1 := s.errorPoly()
+	e2 := s.errorPoly()
+	e3 := s.errorPoly()
+
+	t.Add(e3, e3, mbar) // e3 + m̄ in the normal domain
+	// The three forward transforms of one encryption; the instrumented
+	// Cortex-M4F model fuses these into the paper's parallel NTT.
+	t.ForwardThree(e1, e2, e3)
+
+	ct := &Ciphertext{Params: p, C1: make(ntt.Poly, p.N), C2: make(ntt.Poly, p.N)}
+	t.PointwiseMul(ct.C1, pk.A, e1)
+	t.Add(ct.C1, ct.C1, e2) // c̃1 = ã∘ẽ1 + ẽ2
+	t.PointwiseMul(ct.C2, pk.P, e1)
+	t.Add(ct.C2, ct.C2, e3) // c̃2 = p̃∘ẽ1 + NTT(e3+m̄)
+	return ct, nil
+}
+
+// Decrypt recovers the message: decode(INTT(c̃1 ∘ r̃2 + c̃2)). Wrong keys
+// yield random-looking plaintext, not an error; authenticity requires an
+// outer integrity layer (see the hybrid KEM example).
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) ([]byte, error) {
+	m, err := sk.DecryptToPoly(ct)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(sk.Params, m), nil
+}
+
+// DecryptToPoly returns the pre-decoding polynomial m' = m̄ + noise; the
+// failure-rate experiment inspects it directly.
+func (sk *PrivateKey) DecryptToPoly(ct *Ciphertext) (ntt.Poly, error) {
+	p := sk.Params
+	if ct.Params != p {
+		return nil, errors.New("core: ciphertext parameter set mismatch")
+	}
+	t := p.Tables
+	m := make(ntt.Poly, p.N)
+	t.PointwiseMul(m, ct.C1, sk.R2)
+	t.Add(m, m, ct.C2)
+	t.Inverse(m)
+	return m, nil
+}
+
+// SamplerStats exposes the scheme's Gaussian sampler counters (for the
+// telemetry example).
+func (s *Scheme) SamplerStats() (samples, lut1, lut2, scans uint64) {
+	return s.sampler.Samples, s.sampler.LUT1Hits, s.sampler.LUT2Hits, s.sampler.ScanResolved
+}
+
+// UniformRandom16 returns 16 uniform random bits from the scheme's uniform
+// bit pool; higher layers use it for session-key seeds so that one
+// randomness source feeds the whole context.
+func (s *Scheme) UniformRandom16() uint16 {
+	return uint16(s.uniform.Bits(16))
+}

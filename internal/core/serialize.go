@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlwe/internal/ntt"
+)
+
+// Serialization packs each coefficient into CoeffBits bits (13 for P1, 14
+// for P2), little-endian within the bit stream, matching the paper's
+// observation that coefficients fit in half words. A one-byte header tags
+// the parameter set so mismatches fail loudly instead of decrypting noise.
+
+// paramTag returns the stable wire identifier of a parameter set.
+func paramTag(p *Params) (byte, error) {
+	switch {
+	case p.N == 256 && p.Q == 7681:
+		return 1, nil
+	case p.N == 512 && p.Q == 12289:
+		return 2, nil
+	default:
+		// Custom sets serialize with tag 0; the caller must know the params.
+		return 0, nil
+	}
+}
+
+func packPoly(dst []byte, p ntt.Poly, width uint) {
+	bitPos := 0
+	for _, c := range p {
+		for b := uint(0); b < width; b++ {
+			if c>>b&1 == 1 {
+				dst[bitPos/8] |= 1 << (bitPos % 8)
+			}
+			bitPos++
+		}
+	}
+}
+
+func unpackPoly(src []byte, n int, width uint) ntt.Poly {
+	out := make(ntt.Poly, n)
+	bitPos := 0
+	for i := 0; i < n; i++ {
+		var c uint32
+		for b := uint(0); b < width; b++ {
+			c |= uint32(src[bitPos/8]>>(bitPos%8)&1) << b
+			bitPos++
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Bytes serializes the public key as tag ‖ pack(ã) ‖ pack(p̃).
+func (pk *PublicKey) Bytes() []byte {
+	p := pk.Params
+	tag, _ := paramTag(p)
+	out := make([]byte, 1+2*p.PolyBytes())
+	out[0] = tag
+	packPoly(out[1:1+p.PolyBytes()], pk.A, p.CoeffBits())
+	packPoly(out[1+p.PolyBytes():], pk.P, p.CoeffBits())
+	return out
+}
+
+// ParsePublicKey reverses PublicKey.Bytes under the given parameters.
+func ParsePublicKey(p *Params, data []byte) (*PublicKey, error) {
+	if err := checkBlob(p, data, 2); err != nil {
+		return nil, fmt.Errorf("core: public key: %w", err)
+	}
+	pb := p.PolyBytes()
+	pk := &PublicKey{
+		Params: p,
+		A:      unpackPoly(data[1:1+pb], p.N, p.CoeffBits()),
+		P:      unpackPoly(data[1+pb:], p.N, p.CoeffBits()),
+	}
+	if err := checkRange(p, pk.A, pk.P); err != nil {
+		return nil, fmt.Errorf("core: public key: %w", err)
+	}
+	return pk, nil
+}
+
+// Bytes serializes the private key as tag ‖ pack(r̃2).
+func (sk *PrivateKey) Bytes() []byte {
+	p := sk.Params
+	tag, _ := paramTag(p)
+	out := make([]byte, 1+p.PolyBytes())
+	out[0] = tag
+	packPoly(out[1:], sk.R2, p.CoeffBits())
+	return out
+}
+
+// ParsePrivateKey reverses PrivateKey.Bytes under the given parameters.
+func ParsePrivateKey(p *Params, data []byte) (*PrivateKey, error) {
+	if err := checkBlob(p, data, 1); err != nil {
+		return nil, fmt.Errorf("core: private key: %w", err)
+	}
+	sk := &PrivateKey{Params: p, R2: unpackPoly(data[1:], p.N, p.CoeffBits())}
+	if err := checkRange(p, sk.R2); err != nil {
+		return nil, fmt.Errorf("core: private key: %w", err)
+	}
+	return sk, nil
+}
+
+// Bytes serializes the ciphertext as tag ‖ pack(c̃1) ‖ pack(c̃2).
+func (ct *Ciphertext) Bytes() []byte {
+	p := ct.Params
+	tag, _ := paramTag(p)
+	out := make([]byte, 1+2*p.PolyBytes())
+	out[0] = tag
+	packPoly(out[1:1+p.PolyBytes()], ct.C1, p.CoeffBits())
+	packPoly(out[1+p.PolyBytes():], ct.C2, p.CoeffBits())
+	return out
+}
+
+// ParseCiphertext reverses Ciphertext.Bytes under the given parameters.
+func ParseCiphertext(p *Params, data []byte) (*Ciphertext, error) {
+	if err := checkBlob(p, data, 2); err != nil {
+		return nil, fmt.Errorf("core: ciphertext: %w", err)
+	}
+	pb := p.PolyBytes()
+	ct := &Ciphertext{
+		Params: p,
+		C1:     unpackPoly(data[1:1+pb], p.N, p.CoeffBits()),
+		C2:     unpackPoly(data[1+pb:], p.N, p.CoeffBits()),
+	}
+	if err := checkRange(p, ct.C1, ct.C2); err != nil {
+		return nil, fmt.Errorf("core: ciphertext: %w", err)
+	}
+	return ct, nil
+}
+
+func checkBlob(p *Params, data []byte, polys int) error {
+	want := 1 + polys*p.PolyBytes()
+	if len(data) != want {
+		return fmt.Errorf("blob is %d bytes, want %d", len(data), want)
+	}
+	tag, _ := paramTag(p)
+	if data[0] != tag {
+		return fmt.Errorf("parameter tag %d, want %d (%s)", data[0], tag, p.Name)
+	}
+	return nil
+}
+
+func checkRange(p *Params, polys ...ntt.Poly) error {
+	for _, poly := range polys {
+		for i, c := range poly {
+			if c >= p.Q {
+				return fmt.Errorf("coefficient %d out of range: %d ≥ q", i, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ringlwe/internal/rng"
+)
+
+func TestPublicKeySerializationRoundTrip(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		s := newScheme(t, p, 21)
+		pk, sk, _ := s.GenerateKeys()
+
+		data := pk.Bytes()
+		if len(data) != 1+2*p.PolyBytes() {
+			t.Fatalf("%s: public key is %d bytes", p.Name, len(data))
+		}
+		got, err := ParsePublicKey(p, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPoly(got.A, pk.A) || !equalPoly(got.P, pk.P) {
+			t.Fatalf("%s: public key round trip mismatch", p.Name)
+		}
+
+		skData := sk.Bytes()
+		gotSk, err := ParsePrivateKey(p, skData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPoly(gotSk.R2, sk.R2) {
+			t.Fatalf("%s: private key round trip mismatch", p.Name)
+		}
+	}
+}
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	p := P1()
+	s := newScheme(t, p, 22)
+	pk, sk, _ := s.GenerateKeys()
+	msg := randMessage(rng.NewXorshift128(23), p.MessageBytes())
+	ct, _ := s.Encrypt(pk, msg)
+
+	data := ct.Bytes()
+	got, err := ParseCiphertext(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPoly(got.C1, ct.C1) || !equalPoly(got.C2, ct.C2) {
+		t.Fatal("ciphertext round trip mismatch")
+	}
+	// A parsed ciphertext must still decrypt.
+	dec, err := sk.Decrypt(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, msg) {
+		t.Log("decryption failure (within LPR failure rate)")
+	}
+}
+
+func TestParseRejectsWrongSize(t *testing.T) {
+	p := P1()
+	if _, err := ParsePublicKey(p, make([]byte, 10)); err == nil {
+		t.Error("short public key accepted")
+	}
+	if _, err := ParsePrivateKey(p, make([]byte, 10)); err == nil {
+		t.Error("short private key accepted")
+	}
+	if _, err := ParseCiphertext(p, make([]byte, 10)); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+}
+
+func TestParseRejectsWrongTag(t *testing.T) {
+	p := P1()
+	s := newScheme(t, p, 24)
+	pk, _, _ := s.GenerateKeys()
+	data := pk.Bytes()
+	data[0] = 2 // P2's tag
+	if _, err := ParsePublicKey(p, data); err == nil {
+		t.Error("wrong parameter tag accepted")
+	}
+}
+
+func TestParseRejectsOutOfRangeCoefficients(t *testing.T) {
+	p := P1()
+	s := newScheme(t, p, 25)
+	pk, _, _ := s.GenerateKeys()
+	data := pk.Bytes()
+	// Force the first 13-bit coefficient to 8191 > q.
+	data[1] = 0xFF
+	data[2] |= 0x1F
+	if _, err := ParsePublicKey(p, data); err == nil {
+		t.Error("out-of-range coefficient accepted")
+	}
+}
+
+func TestCrossParameterParseFails(t *testing.T) {
+	p1, p2 := P1(), P2()
+	s := newScheme(t, p1, 26)
+	pk, _, _ := s.GenerateKeys()
+	if _, err := ParsePublicKey(p2, pk.Bytes()); err == nil {
+		t.Error("P1 blob parsed under P2")
+	}
+}

@@ -1,0 +1,47 @@
+package ecc
+
+import (
+	"errors"
+
+	"ringlwe/internal/gf2"
+)
+
+// Point compression for binary curves: a point (x, y) is transmitted as x
+// plus one bit. For x ≠ 0 the two candidate y values differ by x, and
+// their λ = y/x values differ by 1, so the low bit of y/x identifies the
+// point; decompression solves λ² + λ = x + a + b/x² with the half-trace
+// and picks the root with the matching bit. This is the ANSI X9.62-style
+// scheme, giving 31-byte encodings for 233-bit points.
+
+// Compress returns (x, bit) for a finite point. The point at infinity and
+// the 2-torsion point x = 0 are rejected: protocols never transmit them.
+func (c *Curve) Compress(p *Point) (x gf2.Elem, bit byte, err error) {
+	if p.Inf {
+		return gf2.Elem{}, 0, errors.New("ecc: cannot compress the point at infinity")
+	}
+	if p.X.IsZero() {
+		return gf2.Elem{}, 0, errors.New("ecc: cannot compress the 2-torsion point")
+	}
+	var lambda gf2.Elem
+	lambda.Div(&p.Y, &p.X)
+	return p.X, byte(lambda.Bit(0)), nil
+}
+
+// Decompress reconstructs the point from (x, bit). It fails when x is not
+// the x-coordinate of any point on the curve.
+func (c *Curve) Decompress(x *gf2.Elem, bit byte) (Point, error) {
+	if x.IsZero() {
+		return Infinity(), errors.New("ecc: cannot decompress x = 0")
+	}
+	y, ok := c.SolveY(x)
+	if !ok {
+		return Infinity(), errors.New("ecc: x is not on the curve")
+	}
+	var lambda gf2.Elem
+	lambda.Div(&y, x)
+	if byte(lambda.Bit(0)) != bit&1 {
+		// The other root is λ + 1, i.e. y' = y + x.
+		y.Add(&y, x)
+	}
+	return Point{X: *x, Y: y}, nil
+}

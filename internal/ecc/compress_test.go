@@ -1,0 +1,87 @@
+package ecc
+
+import (
+	"testing"
+
+	"ringlwe/internal/gf2"
+	"ringlwe/internal/rng"
+)
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	for _, c := range []*Curve{K233(), a1Curve(t)} {
+		src := rng.NewXorshift128(41)
+		for i := 0; i < 20; i++ {
+			p := c.GeneratePoint(src)
+			x, bit, err := c.Compress(&p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decompress(&x, bit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.X.Equal(&p.X) || !got.Y.Equal(&p.Y) {
+				t.Fatalf("round trip %d changed the point", i)
+			}
+			// The complementary bit must give the negative: (x, x+y).
+			other, err := c.Decompress(&x, bit^1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var negY gf2.Elem
+			negY.Add(&p.X, &p.Y)
+			if !other.Y.Equal(&negY) {
+				t.Fatalf("complement bit did not yield -P")
+			}
+			if !c.OnCurve(&other) {
+				t.Fatal("-P not on curve")
+			}
+		}
+	}
+}
+
+func TestCompressRejectsDegenerate(t *testing.T) {
+	c := K233()
+	inf := Infinity()
+	if _, _, err := c.Compress(&inf); err == nil {
+		t.Error("compressed infinity")
+	}
+	// The 2-torsion point (0, sqrt(b)).
+	var zero gf2.Elem
+	y, ok := c.SolveY(&zero)
+	if !ok {
+		t.Fatal("2-torsion point must exist")
+	}
+	tors := Point{X: zero, Y: y}
+	if !c.OnCurve(&tors) {
+		t.Fatal("2-torsion point not on curve")
+	}
+	if _, _, err := c.Compress(&tors); err == nil {
+		t.Error("compressed the 2-torsion point")
+	}
+	if _, err := c.Decompress(&zero, 0); err == nil {
+		t.Error("decompressed x = 0")
+	}
+}
+
+func TestDecompressRejectsOffCurveX(t *testing.T) {
+	c := K233()
+	src := rng.NewXorshift128(43)
+	rejected := 0
+	for i := 0; i < 40 && rejected == 0; i++ {
+		p := c.GeneratePoint(src)
+		// Perturb x until the quadratic has no solution (about half of all
+		// x values fail the trace test).
+		x := p.X
+		x[0] ^= uint64(i) + 1
+		if x.IsZero() {
+			continue
+		}
+		if _, err := c.Decompress(&x, 0); err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("no off-curve x was rejected in 40 perturbations (expected ≈ half)")
+	}
+}

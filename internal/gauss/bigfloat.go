@@ -1,0 +1,85 @@
+// Package gauss implements the discrete Gaussian sampling machinery of the
+// DATE 2015 paper: construction of the Knuth-Yao probability matrix to a
+// target statistical distance, the bit-scanning Knuth-Yao sampler
+// (Algorithm 1) with column-wise storage, zero-word elision and clz
+// skipping, the lookup-table accelerated sampler (Algorithm 2), and the
+// classical baselines it is compared against (CDT/inversion and rejection
+// sampling), plus statistical validation helpers.
+package gauss
+
+import (
+	"math/big"
+)
+
+// bigExp returns e^z to roughly prec significant bits. It reduces the
+// argument until |z/2^k| < 1/2, evaluates the Taylor series, and squares k
+// times; the extra guard bits absorb the squaring error. z is not modified.
+func bigExp(z *big.Float, prec uint) *big.Float {
+	work := prec + 64
+	y := new(big.Float).SetPrec(work).Set(z)
+
+	// Argument reduction: |y| < 0.5 after k halvings.
+	k := 0
+	half := big.NewFloat(0.5).SetPrec(work)
+	abs := new(big.Float).Abs(y)
+	for abs.Cmp(half) >= 0 {
+		y.Quo(y, big.NewFloat(2))
+		abs.Quo(abs, big.NewFloat(2))
+		k++
+	}
+
+	// Taylor: e^y = Σ y^i / i!, stop when the term can no longer affect the
+	// result at the working precision.
+	sum := big.NewFloat(1).SetPrec(work)
+	term := big.NewFloat(1).SetPrec(work)
+	threshold := new(big.Float).SetPrec(work).SetMantExp(big.NewFloat(1), -int(work))
+	for i := int64(1); ; i++ {
+		term.Mul(term, y)
+		term.Quo(term, new(big.Float).SetInt64(i))
+		sum.Add(sum, term)
+		if new(big.Float).Abs(term).Cmp(threshold) < 0 {
+			break
+		}
+	}
+
+	for i := 0; i < k; i++ {
+		sum.Mul(sum, sum)
+	}
+	return sum.SetPrec(prec)
+}
+
+// bigPi returns π to prec bits via Machin's formula
+// π = 16·atan(1/5) − 4·atan(1/239).
+func bigPi(prec uint) *big.Float {
+	work := prec + 64
+	a := atanInv(5, work)
+	b := atanInv(239, work)
+	pi := new(big.Float).SetPrec(work)
+	pi.Mul(a, big.NewFloat(16))
+	b.Mul(b, big.NewFloat(4))
+	pi.Sub(pi, b)
+	return pi.SetPrec(prec)
+}
+
+// atanInv returns atan(1/n) for integer n ≥ 2 to prec bits using the
+// alternating Taylor series Σ (−1)^i / ((2i+1)·n^(2i+1)).
+func atanInv(n int64, prec uint) *big.Float {
+	work := prec + 32
+	nn := new(big.Float).SetPrec(work).SetInt64(n * n)
+	term := new(big.Float).SetPrec(work).Quo(big.NewFloat(1), new(big.Float).SetInt64(n))
+	sum := new(big.Float).SetPrec(work).Set(term)
+	threshold := new(big.Float).SetPrec(work).SetMantExp(big.NewFloat(1), -int(work))
+	for i := int64(1); ; i++ {
+		term.Quo(term, nn)
+		t := new(big.Float).SetPrec(work).Quo(term, new(big.Float).SetInt64(2*i+1))
+		if i&1 == 1 {
+			sum.Sub(sum, t)
+		} else {
+			sum.Add(sum, t)
+		}
+		if t.Cmp(threshold) < 0 {
+			break
+		}
+	}
+	return sum.SetPrec(prec)
+}

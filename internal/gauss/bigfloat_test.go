@@ -1,0 +1,72 @@
+package gauss
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestBigExpMatchesFloat64(t *testing.T) {
+	for _, z := range []float64{0, 1, -1, 0.3, -0.49, 2.5, -25.149, -71.6, 10, -100} {
+		got := bigExp(big.NewFloat(z), 200)
+		want := math.Exp(z)
+		gf, _ := got.Float64()
+		if want == 0 {
+			t.Fatalf("test value %v underflows float64", z)
+		}
+		rel := math.Abs(gf-want) / want
+		if rel > 1e-14 {
+			t.Errorf("bigExp(%v) = %v, want %v (rel err %v)", z, gf, want, rel)
+		}
+	}
+}
+
+func TestBigExpIdentity(t *testing.T) {
+	// e^a · e^-a = 1 at high precision.
+	for _, a := range []float64{0.7, 3.3, 12.25, 60} {
+		x := bigExp(big.NewFloat(a), 256)
+		y := bigExp(big.NewFloat(-a), 256)
+		prod := new(big.Float).SetPrec(256).Mul(x, y)
+		diff := new(big.Float).Sub(prod, big.NewFloat(1))
+		f, _ := diff.Float64()
+		if math.Abs(f) > 1e-70 {
+			t.Errorf("e^%v·e^-%v − 1 = %v, want ≈ 0", a, a, f)
+		}
+	}
+}
+
+func TestBigExpHighPrecisionKnownValue(t *testing.T) {
+	// e to 50 decimal digits: 2.71828182845904523536028747135266249775724709369995
+	want, _, err := big.ParseFloat("2.71828182845904523536028747135266249775724709369995", 10, 200, big.ToNearestEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bigExp(big.NewFloat(1), 200)
+	diff := new(big.Float).Sub(got, want)
+	f, _ := diff.Float64()
+	if math.Abs(f) > 1e-48 {
+		t.Errorf("bigExp(1) differs from e by %v", f)
+	}
+}
+
+func TestBigPi(t *testing.T) {
+	want, _, err := big.ParseFloat("3.14159265358979323846264338327950288419716939937511", 10, 200, big.ToNearestEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bigPi(200)
+	diff := new(big.Float).Sub(got, want)
+	f, _ := diff.Float64()
+	if math.Abs(f) > 1e-48 {
+		t.Errorf("bigPi differs from π by %v", f)
+	}
+}
+
+func TestAtanInvKnownValue(t *testing.T) {
+	got := atanInv(5, 120)
+	f, _ := got.Float64()
+	want := math.Atan(1.0 / 5)
+	if math.Abs(f-want) > 1e-15 {
+		t.Errorf("atanInv(5) = %v, want %v", f, want)
+	}
+}

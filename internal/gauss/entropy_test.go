@@ -1,0 +1,113 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+
+	"ringlwe/internal/rng"
+)
+
+// countingSource wraps a source and counts the 32-bit words drawn, so the
+// exact randomness consumption of each sampler can be measured.
+type countingSource struct {
+	inner rng.Source
+	words uint64
+}
+
+func (c *countingSource) Uint32() uint32 {
+	c.words++
+	return c.inner.Uint32()
+}
+
+// entropy returns the Shannon entropy (bits) of the signed distribution
+// the matrix encodes.
+func entropy(m *Matrix) float64 {
+	h := 0.0
+	add := func(p float64) {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	add(m.TrueProb(0))
+	for x := 1; x < m.Rows; x++ {
+		add(m.TrueProb(x) / 2) // each sign carries half the magnitude mass
+		add(m.TrueProb(x) / 2)
+	}
+	return h
+}
+
+// The paper adopts Knuth-Yao because it "uses, on average, a near-optimal
+// number of random bits" (§II-B). Measure it: the bit-scanning sampler
+// must consume close to the distribution's entropy (the Knuth-Yao bound is
+// H+2 bits per sample), while the LUT-accelerated variant deliberately
+// trades randomness for speed (≥ 9 bits: the 8-bit index plus the sign),
+// and the rejection sampler wastes multiples of either.
+func TestRandomnessConsumptionPerSample(t *testing.T) {
+	mat := P1Matrix()
+	H := entropy(mat)
+	// σ ≈ 4.51: H ≈ log2(σ√(2πe)) ≈ 4.22 bits (the discrete Gaussian's
+	// entropy is within hundredths of the differential formula at this σ).
+	analytic := math.Log2(mat.Sigma * math.Sqrt(2*math.Pi*math.E))
+	if math.Abs(H-analytic) > 0.1 {
+		t.Fatalf("entropy computation suspect: H = %.3f, analytic %.3f", H, analytic)
+	}
+
+	const N = 200000
+	perSample := func(build func(src rng.Source) IntSampler) float64 {
+		cs := &countingSource{inner: rng.NewXorshift128(99)}
+		s := build(cs)
+		for i := 0; i < N; i++ {
+			s.SampleInt()
+		}
+		// 31 usable bits per pool word (MSB is the sentinel).
+		return float64(cs.words) * 31 / N
+	}
+
+	scan := perSample(func(src rng.Source) IntSampler {
+		s, err := NewSampler(mat, src, WithLUT(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	lut := perSample(func(src rng.Source) IntSampler {
+		s, err := NewSampler(mat, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	cdt := perSample(func(src rng.Source) IntSampler {
+		return NewCDTSampler(mat, src)
+	})
+	rej := perSample(func(src rng.Source) IntSampler {
+		return NewRejectionSampler(mat, src)
+	})
+
+	t.Logf("entropy H = %.2f bits; bits/sample: scan %.2f, LUT %.2f, CDT %.2f, rejection %.2f",
+		H, scan, lut, cdt, rej)
+
+	// Knuth-Yao bound: H ≤ E[bits] < H + 2 (plus the sign bit we consume
+	// for magnitude-0 samples too, ≤ 1 extra).
+	if scan < H {
+		t.Errorf("scan sampler consumed %.2f bits/sample, below the entropy %.2f", scan, H)
+	}
+	if scan > H+3 {
+		t.Errorf("scan sampler consumed %.2f bits/sample, beyond the Knuth-Yao bound %.2f", scan, H+3)
+	}
+	// LUT variant: 8 index bits + 1 sign minimum.
+	if lut < 9 {
+		t.Errorf("LUT sampler consumed %.2f bits/sample, below its 9-bit floor", lut)
+	}
+	if lut > 11 {
+		t.Errorf("LUT sampler consumed %.2f bits/sample, unexpectedly many", lut)
+	}
+	// CDT inverts a 64-bit uniform draw (+ sign).
+	if cdt < 64 {
+		t.Errorf("CDT consumed %.2f bits/sample, below its design draw", cdt)
+	}
+	// Rejection throws most candidates away.
+	if rej < 2*lut {
+		t.Errorf("rejection consumed only %.2f bits/sample; expected well above the LUT variant", rej)
+	}
+}

@@ -1,0 +1,112 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+
+	"ringlwe/internal/rng"
+)
+
+// Behaviour beyond the paper's σ: the byte-encoded lookup tables keep
+// working for moderately large standard deviations — LUT1 success
+// magnitudes never exceed ≈124 for any σ, and the failure distance grows
+// like ≈1.15σ, overflowing the 7-bit encoding only around σ ≈ 115. The
+// library must exploit the full working range and degrade cleanly past it
+// (the scan sampler and the CDT remain available at any σ, covering the
+// paper's Table III P3 signature parameters with σ = 215).
+func TestLargeSigmaGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds large matrices")
+	}
+
+	// σ = 20: LUTs still work (maxD = 26 fits seven bits); verify the full
+	// sampler against the distribution.
+	const sigma = 20.0
+	rows, cols := Size(sigma, 90)
+	if rows != 240 {
+		t.Fatalf("rows = %d, want 240", rows)
+	}
+	m, err := NewMatrix(sigma, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m, rng.NewXorshift128(1))
+	if err != nil {
+		t.Fatalf("σ=20 LUT sampler should construct: %v", err)
+	}
+	const N = 60000
+	mean, std := Moments(s, N)
+	if math.Abs(mean) > 6*sigma/math.Sqrt(N) {
+		t.Errorf("mean %v too far from 0", mean)
+	}
+	if math.Abs(std-sigma) > 0.03*sigma {
+		t.Errorf("std %v, want ≈ %v", std, sigma)
+	}
+
+	// σ = 130: the level-8 walk distance exceeds 127, so the LUT
+	// configuration must be refused...
+	rows2, cols2 := Size(130, 90)
+	m2, err := NewMatrix(130, rows2, cols2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildLUT1(m2); err == nil {
+		t.Error("BuildLUT1 accepted a failure distance above 127")
+	}
+	if _, err := NewSampler(m2, rng.NewXorshift128(2)); err == nil {
+		t.Error("LUT sampler construction accepted σ=130")
+	}
+	// ...while scan-only sampling and the CDT continue to work.
+	s2, err := NewSampler(m2, rng.NewXorshift128(3), WithLUT(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, std2 := Moments(s2, N)
+	if math.Abs(std2-130) > 0.03*130 {
+		t.Errorf("scan sampler std %v, want ≈ 130", std2)
+	}
+	c := NewCDTSampler(m2, rng.NewXorshift128(4))
+	_, cstd := Moments(c, N)
+	if math.Abs(cstd-130) > 0.03*130 {
+		t.Errorf("CDT std %v, want ≈ 130", cstd)
+	}
+}
+
+// P2's lookup tables have no published anchor; pin down their structural
+// invariants so regressions surface. A reproduction finding: at P2's σ the
+// largest LUT1 failure distance is 8, so the paper's 3-bit distance
+// encoding (and 224-entry LUT2) is specific to P1's σ — LUT2 for P2 needs
+// 9·32 = 288 entries. Our byte entries carry up to 7 distance bits, so
+// both sets work unchanged.
+func TestP2LUTInvariants(t *testing.T) {
+	m := P2Matrix()
+	lut1, maxD, err := BuildLUT1(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lut1) != 256 {
+		t.Fatalf("LUT1 size %d", len(lut1))
+	}
+	if maxD != 8 {
+		t.Fatalf("P2 max failure distance %d, want the observed 8", maxD)
+	}
+	lut2, err := BuildLUT2(m, maxD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lut2) != 32*(maxD+1) {
+		t.Fatalf("LUT2 size %d, want %d", len(lut2), 32*(maxD+1))
+	}
+	// Success entries must be valid magnitudes; failure entries valid
+	// distances.
+	for i, e := range lut1 {
+		if e&0x80 == 0 && int(e) >= m.Rows {
+			t.Fatalf("LUT1[%d] success magnitude %d out of range", i, e)
+		}
+	}
+	for i, e := range lut2 {
+		if e&0x80 == 0 && int(e) >= m.Rows {
+			t.Fatalf("LUT2[%d] success magnitude %d out of range", i, e)
+		}
+	}
+}

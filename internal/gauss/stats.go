@@ -1,0 +1,122 @@
+package gauss
+
+import (
+	"fmt"
+	"math"
+)
+
+// IntSampler is any signed discrete Gaussian sampler in this package; the
+// statistical helpers run against the interface so every implementation is
+// validated the same way.
+type IntSampler interface {
+	SampleInt() int32
+}
+
+// Histogram counts n samples from s keyed by value.
+func Histogram(s IntSampler, n int) map[int32]uint64 {
+	h := make(map[int32]uint64)
+	for i := 0; i < n; i++ {
+		h[s.SampleInt()]++
+	}
+	return h
+}
+
+// Moments returns the empirical mean and standard deviation of n samples.
+func Moments(s IntSampler, n int) (mean, stddev float64) {
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(s.SampleInt())
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	stddev = math.Sqrt(sumSq/float64(n) - mean*mean)
+	return mean, stddev
+}
+
+// ChiSquare compares an observed histogram of signed samples against the
+// exact distribution encoded by the matrix. Values whose expected count
+// falls below minExpected are merged into tail buckets so the χ² statistic
+// is well behaved. It returns the statistic and the degrees of freedom.
+func ChiSquare(m *Matrix, hist map[int32]uint64, total int, minExpected float64) (stat float64, df int) {
+	type bucket struct {
+		observed uint64
+		expected float64
+	}
+	var buckets []bucket
+
+	// Walk magnitudes from the center out; fold the far tails together.
+	tail := bucket{}
+	for x := -(m.Rows - 1); x < m.Rows; x++ {
+		mag := x
+		if mag < 0 {
+			mag = -mag
+		}
+		p := m.TrueProb(mag)
+		if mag != 0 {
+			p /= 2 // signed split of the magnitude mass
+		}
+		exp := p * float64(total)
+		obs := hist[int32(x)]
+		if exp < minExpected {
+			tail.observed += obs
+			tail.expected += exp
+			continue
+		}
+		buckets = append(buckets, bucket{obs, exp})
+	}
+	if tail.expected > 0 {
+		buckets = append(buckets, tail)
+	}
+	for _, b := range buckets {
+		d := float64(b.observed) - b.expected
+		stat += d * d / b.expected
+	}
+	return stat, len(buckets) - 1
+}
+
+// ChiSquareCritical returns the approximate upper critical value of the χ²
+// distribution with df degrees of freedom at the given right-tail
+// probability, using the Wilson-Hilferty cube approximation. Accurate to a
+// few percent for df ≥ 10, which is all the health checks need.
+func ChiSquareCritical(df int, tail float64) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("gauss: invalid degrees of freedom %d", df))
+	}
+	z := normalQuantile(1 - tail)
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// normalQuantile approximates Φ⁻¹(p) with the Acklam rational
+// approximation (relative error < 1.2e-9 over (0,1)).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("gauss: quantile argument %v out of (0,1)", p))
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

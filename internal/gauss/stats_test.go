@@ -1,0 +1,104 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.841344746, 1},
+		{0.977249868, 2},
+		{0.998650102, 3},
+		{0.158655254, -1},
+		{0.999, 3.090232},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("normalQuantile(%v) did not panic", p)
+				}
+			}()
+			normalQuantile(p)
+		}()
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Reference values (tables): χ²(df=10, 0.05) ≈ 18.31, χ²(df=50, 0.01) ≈
+	// 76.15, χ²(df=100, 0.001) ≈ 149.45. Wilson-Hilferty is good to ~1%.
+	cases := []struct {
+		df   int
+		tail float64
+		want float64
+	}{
+		{10, 0.05, 18.31},
+		{50, 0.01, 76.15},
+		{100, 0.001, 149.45},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical(c.df, c.tail)
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("ChiSquareCritical(%d, %v) = %v, want ≈ %v", c.df, c.tail, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCriticalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("df=0 did not panic")
+		}
+	}()
+	ChiSquareCritical(0, 0.01)
+}
+
+// A deliberately wrong histogram must fail the χ² check: feed samples from a
+// uniform distribution into the Gaussian test.
+func TestChiSquareDetectsWrongDistribution(t *testing.T) {
+	mat := P1Matrix()
+	const N = 100000
+	hist := make(map[int32]uint64)
+	// Uniform over [-10, 10].
+	for i := 0; i < N; i++ {
+		hist[int32(i%21-10)]++
+	}
+	stat, df := ChiSquare(mat, hist, N, 8)
+	crit := ChiSquareCritical(df, 0.001)
+	if stat <= crit {
+		t.Errorf("uniform histogram passed: χ² = %v ≤ %v", stat, crit)
+	}
+}
+
+// And a perfect histogram (expected counts themselves) must pass with a
+// near-zero statistic.
+func TestChiSquareAcceptsExactDistribution(t *testing.T) {
+	mat := P1Matrix()
+	const N = 1000000
+	hist := make(map[int32]uint64)
+	for x := -(mat.Rows - 1); x < mat.Rows; x++ {
+		mag := x
+		if mag < 0 {
+			mag = -mag
+		}
+		p := mat.TrueProb(mag)
+		if mag != 0 {
+			p /= 2
+		}
+		hist[int32(x)] = uint64(math.Round(p * N))
+	}
+	stat, df := ChiSquare(mat, hist, N, 8)
+	if stat > float64(df)/4 {
+		t.Errorf("exact histogram scored χ² = %v (df %d)", stat, df)
+	}
+}

@@ -1,0 +1,75 @@
+package m4
+
+import (
+	"math/bits"
+
+	"ringlwe/internal/rng"
+)
+
+// BitPool is the cycle-charged counterpart of rng.BitPool: identical bit
+// stream (MSB-sentinel register, 31 fresh bits per word, LSB-first
+// delivery), with every operation priced as the paper's §III-E register
+// implementation — the clz instruction counts the remaining fresh bits, so
+// no counter register is spent, and a word is fetched from the TRNG only
+// when the register holds nothing but the sentinel.
+type BitPool struct {
+	mach *Machine
+	src  rng.Source
+	reg  uint32
+}
+
+// NewBitPool returns an empty charged pool over src.
+func NewBitPool(mach *Machine, src rng.Source) *BitPool {
+	return &BitPool{mach: mach, src: src, reg: 1}
+}
+
+func (p *BitPool) refill() {
+	p.mach.TRNGFetch() // polling wait, §III-E
+	p.mach.ALU(1)      // ORR the sentinel into bit 31
+	p.reg = p.src.Uint32() | 1<<31
+}
+
+// Bit returns the next random bit, charging the AND/LSR extraction and the
+// (almost always not-taken) empty check.
+func (p *BitPool) Bit() uint32 {
+	if p.reg == 1 {
+		p.mach.Branch(true)
+		p.refill()
+	} else {
+		p.mach.Branch(false)
+	}
+	p.mach.ALU(2) // AND #1; LSR #1
+	b := p.reg & 1
+	p.reg >>= 1
+	return b
+}
+
+// Bits returns the next n bits (LSB first), charging the fast path the
+// paper uses: one clz to learn the fill level, one mask, one shift. A
+// refill that straddles the request costs the TRNG wait plus the merge
+// shifts. The value stream is bit-identical to rng.BitPool.Bits.
+func (p *BitPool) Bits(n uint) uint32 {
+	if n > 31 {
+		panic("m4: BitPool.Bits supports at most 31 bits per call")
+	}
+	p.mach.CLZ(1)
+	p.mach.ALU(1) // compare fill level against n
+	avail := uint(31 - bits.LeadingZeros32(p.reg))
+	if avail >= n {
+		p.mach.Branch(false)
+		p.mach.ALU(2) // AND mask; LSR #n
+		v := p.reg & (1<<n - 1)
+		p.reg >>= n
+		return v
+	}
+	// Straddle: drain the register, refill, take the remainder.
+	p.mach.Branch(true)
+	p.mach.ALU(2) // save the partial bits, clear the register
+	v := p.reg & (1<<avail - 1)
+	p.refill()
+	p.mach.ALU(3) // AND mask; shift into place; ORR merge
+	rest := n - avail
+	v |= (p.reg & (1<<rest - 1)) << avail
+	p.reg >>= rest
+	return v
+}

@@ -1,0 +1,85 @@
+package m4
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ringlwe/internal/core"
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/rng"
+)
+
+func TestInverseHalfwordEquivalence(t *testing.T) {
+	tab := p1Tables(t)
+	r := rand.New(rand.NewSource(9))
+	a := randPoly(r, tab)
+	want := append(ntt.Poly(nil), a...)
+	tab.Inverse(want)
+	InverseHalfword(New(), tab, a)
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("halfword INTT differs at %d", i)
+		}
+	}
+}
+
+// The unpacked pipeline must produce the same ciphertext (given the same
+// randomness) while costing measurably more — the end-to-end value of the
+// paper's NTT optimizations.
+func TestSchemeHalfwordAblation(t *testing.T) {
+	params := core.P1()
+
+	mOpt := New()
+	opt, err := NewScheme(mOpt, params, rng.NewXorshift128(404))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkO, skO := opt.KeyGen()
+	msg := make([]byte, params.MessageBytes())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	mOpt.Reset()
+	ctO := opt.Encrypt(pkO, msg)
+	optEnc := mOpt.Cycles
+	mOpt.Reset()
+	gotO := opt.Decrypt(skO, ctO)
+	optDec := mOpt.Cycles
+
+	mHW := New()
+	hw, err := NewScheme(mHW, params, rng.NewXorshift128(404))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkH, skH := hw.KeyGen()
+	mHW.Reset()
+	ctH := hw.EncryptHalfword(pkH, msg)
+	hwEnc := mHW.Cycles
+	mHW.Reset()
+	gotH := hw.DecryptHalfword(skH, ctH)
+	hwDec := mHW.Cycles
+
+	// Identical randomness → identical ciphertexts and plaintexts.
+	for i := 0; i < params.N; i++ {
+		if ctO.C1[i] != ctH.C1[i] || ctO.C2[i] != ctH.C2[i] {
+			t.Fatalf("optimized and halfword ciphertexts differ at %d", i)
+		}
+	}
+	if !bytes.Equal(gotO, gotH) {
+		t.Fatal("plaintexts differ")
+	}
+
+	// Cost ordering and a meaningful margin (packing + fusion should save
+	// at least 10% end to end at encryption).
+	if hwEnc <= optEnc || hwDec <= optDec {
+		t.Fatalf("halfword pipeline not more expensive: enc %d vs %d, dec %d vs %d",
+			hwEnc, optEnc, hwDec, optDec)
+	}
+	saving := 1 - float64(optEnc)/float64(hwEnc)
+	t.Logf("end-to-end encryption saving from packing+fusion: %.1f%% (%d → %d cycles)",
+		100*saving, hwEnc, optEnc)
+	if saving < 0.10 {
+		t.Errorf("scheme-level saving only %.1f%%", 100*saving)
+	}
+}

@@ -1,0 +1,91 @@
+package m4
+
+import (
+	"testing"
+
+	"ringlwe/internal/core"
+	"ringlwe/internal/rng"
+)
+
+// The largest Table II delta is key generation: the paper measures keygen
+// at roughly the cost of encryption (116 772 vs 121 166 at P1), while the
+// default model prices it ~27% cheaper (2 NTTs + 2n samples vs 3 fused
+// NTTs + 3n samples). The plausible explanation is TRNG throughput: keygen
+// draws the uniform polynomial ã — n·13+ bits of raw TRNG output consumed
+// back to back with no compute to hide the 140-cycle word-generation
+// interval. Under the conservative synchronous-TRNG model the keygen/
+// encryption ratio moves toward the paper's; this test pins the direction
+// of that sensitivity.
+func TestKeyGenGapTRNGSensitivity(t *testing.T) {
+	params := core.P1()
+	measure := func(conservative bool) (kg, enc uint64) {
+		m := New()
+		m.ConservativeTRNG = conservative
+		s, err := NewScheme(m, params, rng.NewXorshift128(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, _ := s.KeyGen()
+		kg = m.Cycles
+		m.Reset()
+		s.Encrypt(pk, make([]byte, params.MessageBytes()))
+		return kg, m.Cycles
+	}
+
+	kgBg, encBg := measure(false)
+	kgCons, encCons := measure(true)
+
+	ratioBg := float64(kgBg) / float64(encBg)
+	ratioCons := float64(kgCons) / float64(encCons)
+	paperRatio := 116772.0 / 121166.0 // ≈ 0.964
+
+	t.Logf("keygen/encrypt ratio: background TRNG %.3f, synchronous TRNG %.3f, paper %.3f",
+		ratioBg, ratioCons, paperRatio)
+
+	// The synchronous model must close part of the gap toward the paper.
+	if ratioCons <= ratioBg {
+		t.Errorf("synchronous TRNG did not increase the keygen/encrypt ratio (%.3f vs %.3f)",
+			ratioCons, ratioBg)
+	}
+	// And keygen must be the operation most affected by TRNG stalls.
+	kgPenalty := float64(kgCons) / float64(kgBg)
+	encPenalty := float64(encCons) / float64(encBg)
+	if kgPenalty <= encPenalty {
+		t.Errorf("TRNG stalls should hit keygen (×%.3f) harder than encryption (×%.3f)",
+			kgPenalty, encPenalty)
+	}
+}
+
+// Golden cycle counts: the model is deterministic, so any change to the
+// cost tables or kernel charge sequences shows up here first. Update the
+// constants deliberately when the model is recalibrated — the EXPERIMENTS
+// deltas must be regenerated in the same commit.
+func TestModeledCycleGoldens(t *testing.T) {
+	params := core.P1()
+	m := New()
+	s, err := NewScheme(m, params, rng.NewXorshift128(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, sk := s.KeyGen()
+	kg := m.Cycles
+	m.Reset()
+	ct := s.Encrypt(pk, make([]byte, params.MessageBytes()))
+	enc := m.Cycles
+	m.Reset()
+	s.Decrypt(sk, ct)
+	dec := m.Cycles
+
+	goldens := map[string][2]uint64{
+		// name: {got, want}
+		"keygen":  {kg, 80861},
+		"encrypt": {enc, 110255},
+		"decrypt": {dec, 40393},
+	}
+	for name, g := range goldens {
+		if g[0] != g[1] {
+			t.Errorf("%s: modeled %d cycles, golden %d — recalibrate EXPERIMENTS.md if intentional",
+				name, g[0], g[1])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package m4 models the ARM Cortex-M4F — the paper's target platform — at
+// the transaction level, so the cycle counts of Tables I and II can be
+// regenerated without the STM32F407 board.
+//
+// The paper reads cycles from the DWT_CYCCNT register of real silicon; we
+// charge each primitive operation its documented price (ARM Cortex-M4
+// Technical Reference Manual, chapter 3.3) while executing the real
+// computation, so every modeled kernel remains bit-exact with the plain
+// implementation (asserted in tests). Absolute numbers land in the same
+// ballpark as the paper's; the reproduction targets are the relative
+// effects the paper claims — packing halves memory traffic, the LUTs remove
+// bit scanning, the fused triple NTT amortizes twiddle bookkeeping — all of
+// which survive in the model because they are operation-count effects.
+//
+// Documented per-instruction prices used (single issue, zero wait-state
+// SRAM, as on the paper's 168 MHz STM32F407 running from RAM-resident
+// data):
+//
+//	ALU register-register op        1 cycle
+//	32×32→32 multiply (MUL)         1 cycle
+//	32×32→64 multiply (UMULL)       1 cycle
+//	load word / halfword (LDR)      2 cycles
+//	store word / halfword (STR)     2 cycles  ("a memory access requires 2
+//	                                 cycles", paper §III-C)
+//	count leading zeros (CLZ)       1 cycle
+//	taken branch                    3 cycles  (1 + pipeline refill P=2)
+//	not-taken branch                1 cycle
+//	hardware divide (UDIV)          2–12 cycles (unused by the kernels)
+//	call + return overhead          8 cycles
+//
+// The TRNG is modeled after §III-E: one fresh 32-bit word per 140 CPU
+// cycles (40 cycles of the 48 MHz TRNG clock at a 168 MHz core), with a
+// 12-cycle minimum polling cost; useful work between fetches hides the
+// latency, exactly as the paper exploits.
+package m4
+
+import "ringlwe/internal/rng"
+
+// CostModel holds the per-operation cycle prices. The zero value is not
+// meaningful; use DefaultModel (the TRM-derived table above) unless running
+// sensitivity experiments.
+type CostModel struct {
+	ALU, Mul, Load, Store, CLZ  uint64
+	BranchTaken, BranchNotTaken uint64
+	Call                        uint64
+}
+
+// DefaultModel is the Cortex-M4F price list documented in the package
+// comment.
+var DefaultModel = CostModel{
+	ALU: 1, Mul: 1, Load: 2, Store: 2, CLZ: 1,
+	BranchTaken: 3, BranchNotTaken: 1,
+	Call: 8,
+}
+
+// Machine accumulates modeled cycles. One Machine models one core; kernels
+// charge it as they execute. Not safe for concurrent use.
+type Machine struct {
+	Model  CostModel
+	Cycles uint64
+
+	// ConservativeTRNG switches the TRNG model from the paper's view (the
+	// generator runs continuously in the background, a read costs only the
+	// 12-cycle polling wait) to a worst-case synchronous view where a fetch
+	// stalls until the full 140-cycle generation interval has elapsed since
+	// the previous one. The paper's measured 28.5 cycles/sample implies the
+	// background view; the conservative switch exists for sensitivity
+	// analysis (see the ablation benches).
+	ConservativeTRNG bool
+
+	// sinceTRNG tracks useful cycles since the last TRNG word fetch, to
+	// model generation latency hiding under ConservativeTRNG.
+	sinceTRNG uint64
+
+	// TRNGFetches counts hardware random words consumed.
+	TRNGFetches uint64
+}
+
+// New returns a Machine with the default cost model.
+func New() *Machine { return &Machine{Model: DefaultModel} }
+
+// Reset clears the counters but keeps the model.
+func (m *Machine) Reset() {
+	m.Cycles, m.sinceTRNG, m.TRNGFetches = 0, 0, 0
+}
+
+func (m *Machine) tick(c uint64) {
+	m.Cycles += c
+	m.sinceTRNG += c
+}
+
+// ALU charges n single-cycle data-processing instructions.
+func (m *Machine) ALU(n int) { m.tick(uint64(n) * m.Model.ALU) }
+
+// Mul charges n single-cycle multiplies.
+func (m *Machine) Mul(n int) { m.tick(uint64(n) * m.Model.Mul) }
+
+// Load charges n memory reads (word or halfword — same price, which is
+// precisely why the paper packs two coefficients per word).
+func (m *Machine) Load(n int) { m.tick(uint64(n) * m.Model.Load) }
+
+// Store charges n memory writes.
+func (m *Machine) Store(n int) { m.tick(uint64(n) * m.Model.Store) }
+
+// CLZ charges n count-leading-zeros instructions.
+func (m *Machine) CLZ(n int) { m.tick(uint64(n) * m.Model.CLZ) }
+
+// Branch charges one conditional branch.
+func (m *Machine) Branch(taken bool) {
+	if taken {
+		m.tick(m.Model.BranchTaken)
+	} else {
+		m.tick(m.Model.BranchNotTaken)
+	}
+}
+
+// Loop charges the per-iteration overhead of a counted loop: index update,
+// compare, and the backward taken branch.
+func (m *Machine) Loop() { m.ALU(2); m.Branch(true) }
+
+// Call charges a function call + return.
+func (m *Machine) Call() { m.tick(m.Model.Call) }
+
+// TRNGFetch charges one hardware random-word fetch. By default this is the
+// paper's §III-E behavior: the TRNG generates continuously, so a read costs
+// the 12-cycle polling wait. Under ConservativeTRNG the charge grows to
+// cover the full generation interval not hidden by useful work since the
+// previous fetch (rng.FetchCost).
+func (m *Machine) TRNGFetch() {
+	if m.ConservativeTRNG {
+		m.Cycles += rng.FetchCost(m.sinceTRNG)
+	} else {
+		m.Cycles += rng.MinWaitCycles
+	}
+	m.sinceTRNG = 0
+	m.TRNGFetches++
+}
+
+// Composite prices shared by the arithmetic kernels. They mirror the
+// standard Cortex-M4 modular-arithmetic idioms for 13/14-bit moduli.
+
+// ChargeMulRed charges one modular multiplication c = a·b mod q implemented
+// as MUL + Barrett (UMULL, shift, MUL, SUB) + conditional correction:
+// 7 cycles.
+func (m *Machine) ChargeMulRed() {
+	m.Mul(2)  // product + Barrett quotient-estimate multiply
+	m.ALU(4)  // shift, q·q̂, subtract, compare
+	m.tick(1) // conditional subtract (IT + SUB fold to ~1)
+}
+
+// ChargeAddRed charges one modular addition (ADD, CMP, conditional SUB):
+// 3 cycles.
+func (m *Machine) ChargeAddRed() { m.ALU(3) }
+
+// ChargeSubRed charges one modular subtraction (SUB, CMP, conditional ADD):
+// 3 cycles.
+func (m *Machine) ChargeSubRed() { m.ALU(3) }
+
+// ChargeUnpack charges splitting a 32-bit word into two halfword
+// coefficients (UXTH + LSR): 2 cycles.
+func (m *Machine) ChargeUnpack() { m.ALU(2) }
+
+// ChargePack charges combining two coefficients into one word
+// (ORR with shifted operand folds to one cycle, plus the move): 2 cycles.
+func (m *Machine) ChargePack() { m.ALU(2) }

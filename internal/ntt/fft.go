@@ -1,0 +1,105 @@
+package ntt
+
+// Floating-point FFT multiplication — the "high-level software
+// implementation" style of the paper's reference [3] (Göttert et al., CHES
+// 2012), whose software used complex floating-point transforms. It is kept
+// as a baseline: exact for the paper's parameter ranges (coefficient
+// products fit comfortably in a double's 53-bit mantissa) but slower and
+// more delicate than the integer NTT, which is exactly the paper's point
+// in moving to Z_q roots of unity.
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ringlwe/internal/zq"
+)
+
+// fftErrorBudget is the maximum acceptable distance from an integer after
+// the inverse transform; exceeding it means the float pipeline lost
+// exactness and the result cannot be trusted.
+const fftErrorBudget = 0.25
+
+// MulFFT returns a·b in Z_q[x]/(x^n+1) using a complex-double FFT with a
+// ψ-twist for the negacyclic wrap. It panics if float rounding leaves any
+// coefficient farther than fftErrorBudget from an integer — for the paper
+// parameter sets (n ≤ 512, q ≤ 12289, products ≤ n·q² ≈ 2^37) this cannot
+// happen with a 53-bit mantissa.
+func (t *Tables) MulFFT(a, b Poly) Poly {
+	if len(a) != t.N || len(b) != t.N {
+		panic("ntt: MulFFT length mismatch")
+	}
+	n := t.N
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	// Twist by e^(iπj/n): the complex analogue of the ψ^j pre-multiplication,
+	// turning cyclic convolution into negacyclic.
+	for j := 0; j < n; j++ {
+		w := cmplx.Rect(1, math.Pi*float64(j)/float64(n))
+		fa[j] = complex(float64(a[j]), 0) * w
+		fb[j] = complex(float64(b[j]), 0) * w
+	}
+	fft(fa, false)
+	fft(fb, false)
+	for j := range fa {
+		fa[j] *= fb[j]
+	}
+	fft(fa, true)
+	out := make(Poly, n)
+	for j := 0; j < n; j++ {
+		// Untwist and round back to the integers.
+		w := cmplx.Rect(1, -math.Pi*float64(j)/float64(n))
+		v := real(fa[j] * w)
+		r := math.Round(v)
+		if math.Abs(v-r) > fftErrorBudget {
+			panic(fmt.Sprintf("ntt: FFT lost exactness at %d: %v", j, v))
+		}
+		// r is a (possibly negative) integer convolution value; reduce.
+		m := math.Mod(r, float64(t.M.Q))
+		if m < 0 {
+			m += float64(t.M.Q)
+		}
+		out[j] = uint32(m)
+	}
+	return out
+}
+
+// fft is an in-place iterative radix-2 complex FFT (inverse includes the
+// 1/n scaling).
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	logN := uint(0)
+	for 1<<logN < n {
+		logN++
+	}
+	for i := 0; i < n; i++ {
+		j := int(zq.BitReverse(uint32(i), logN))
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += size {
+			w := complex(1, 0)
+			for j := 0; j < size/2; j++ {
+				u := x[i+j]
+				v := x[i+j+size/2] * w
+				x[i+j] = u + v
+				x[i+j+size/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}

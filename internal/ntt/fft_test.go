@@ -1,0 +1,101 @@
+package ntt
+
+import (
+	"math/rand"
+	"ringlwe/internal/zq"
+	"testing"
+)
+
+func TestMulFFTMatchesNaive(t *testing.T) {
+	for _, tab := range paperTables(t) {
+		rng := rand.New(rand.NewSource(71))
+		for trial := 0; trial < 5; trial++ {
+			a := randPoly(rng, tab)
+			b := randPoly(rng, tab)
+			want := tab.Naive(a, b)
+			got := tab.MulFFT(a, b)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d n=%d trial %d: FFT differs at %d: %d vs %d",
+						tab.M.Q, tab.N, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Worst-case magnitudes: every coefficient at q-1 maximizes the convolution
+// sums and therefore the floating-point exposure.
+func TestMulFFTWorstCaseMagnitudes(t *testing.T) {
+	for _, tab := range paperTables(t) {
+		a := make(Poly, tab.N)
+		b := make(Poly, tab.N)
+		for i := range a {
+			a[i] = tab.M.Q - 1
+			b[i] = tab.M.Q - 1
+		}
+		want := tab.Naive(a, b)
+		got := tab.MulFFT(a, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d n=%d: worst-case FFT differs at %d", tab.M.Q, tab.N, i)
+			}
+		}
+	}
+}
+
+func TestMulFFTNegacyclicIdentity(t *testing.T) {
+	tab := paperTables(t)[0] // P1
+	// x^(n-1) · x = x^n = -1.
+	a := make(Poly, tab.N)
+	b := make(Poly, tab.N)
+	a[tab.N-1] = 1
+	b[1] = 1
+	got := tab.MulFFT(a, b)
+	if got[0] != tab.M.Q-1 {
+		t.Fatalf("x^(n-1)·x → %d at position 0, want q-1", got[0])
+	}
+	for i := 1; i < tab.N; i++ {
+		if got[i] != 0 {
+			t.Fatalf("unexpected coefficient at %d", i)
+		}
+	}
+}
+
+func TestMulFFTLengthPanics(t *testing.T) {
+	tab := paperTables(t)[2]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	tab.MulFFT(make(Poly, 3), make(Poly, tab.N))
+}
+
+func BenchmarkMulFFT_P1(b *testing.B) {
+	tab, err := NewTables(zq.MustModulus(7681), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := randPoly(rng, tab)
+	y := randPoly(rng, tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.MulFFT(x, y)
+	}
+}
+
+func BenchmarkMulNTT_P1(b *testing.B) {
+	tab, err := NewTables(zq.MustModulus(7681), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := randPoly(rng, tab)
+	y := randPoly(rng, tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Mul(x, y)
+	}
+}

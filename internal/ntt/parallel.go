@@ -1,0 +1,85 @@
+package ntt
+
+// This file implements the paper's parallel-3 NTT (§III-D): during
+// encryption three forward transforms run back to back over three different
+// coefficient sets, so the twiddle-factor bookkeeping and loop overhead can
+// be shared by processing all three polynomials inside the same inner loop.
+// The paper stores the three sets at consecutive memory regions separated by
+// n/2 word addresses so a single base pointer suffices; here the three
+// slices play that role, and the cycle model (internal/m4) accounts for the
+// derived addressing.
+
+// ForwardThree applies Forward to a, b and c in a single fused pass. The
+// result is identical to three separate Forward calls; the fusion pays the
+// per-group twiddle lookup and the loop-index updates once instead of three
+// times (the paper measures this at an 8.3% saving over 3×NTT).
+func (t *Tables) ForwardThree(a, b, c Poly) {
+	if len(a) != t.N || len(b) != t.N || len(c) != t.N {
+		panic("ntt: ForwardThree length mismatch")
+	}
+	m := t.M
+	step := t.N
+	for half := 1; half < t.N; half <<= 1 {
+		step >>= 1
+		for i := 0; i < half; i++ {
+			j1 := 2 * i * step
+			s := t.PsiRev[half+i]
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := m.Mul(a[j+step], s)
+				a[j] = m.Add(u, v)
+				a[j+step] = m.Sub(u, v)
+
+				u = b[j]
+				v = m.Mul(b[j+step], s)
+				b[j] = m.Add(u, v)
+				b[j+step] = m.Sub(u, v)
+
+				u = c[j]
+				v = m.Mul(c[j+step], s)
+				c[j] = m.Add(u, v)
+				c[j+step] = m.Sub(u, v)
+			}
+		}
+	}
+}
+
+// ForwardThreePacked is ForwardThree on packed polynomials, combining the
+// paper's two multiplier optimizations (two coefficients per word and the
+// fused triple transform).
+func (t *Tables) ForwardThreePacked(a, b, c PackedPoly) {
+	if len(a) != t.N/2 || len(b) != t.N/2 || len(c) != t.N/2 {
+		panic("ntt: ForwardThreePacked length mismatch")
+	}
+	m := t.M
+	step := t.N
+	for half := 1; half < t.N/2; half <<= 1 {
+		step >>= 1
+		ws := step / 2
+		for i := 0; i < half; i++ {
+			j1 := i * step
+			s := t.PsiRev[half+i]
+			for j := j1; j < j1+ws; j++ {
+				for _, p := range [3]PackedPoly{a, b, c} {
+					wl := p[j]
+					wh := p[j+ws]
+					u1, u2 := wl&halfMask, wl>>16
+					v1 := m.Mul(wh&halfMask, s)
+					v2 := m.Mul(wh>>16, s)
+					p[j] = packPair(m.Add(u1, v1), m.Add(u2, v2))
+					p[j+ws] = packPair(m.Sub(u1, v1), m.Sub(u2, v2))
+				}
+			}
+		}
+	}
+	halfN := t.N / 2
+	for i := 0; i < halfN; i++ {
+		s := t.PsiRev[halfN+i]
+		for _, p := range [3]PackedPoly{a, b, c} {
+			w := p[i]
+			u := w & halfMask
+			v := m.Mul(w>>16, s)
+			p[i] = packPair(m.Add(u, v), m.Sub(u, v))
+		}
+	}
+}

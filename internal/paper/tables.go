@@ -1,0 +1,91 @@
+// Package paper regenerates every table and figure of the DATE 2015
+// evaluation (§IV): Tables I-IV, Figures 1-2 and the prose claims, pairing
+// the paper's published numbers with this reproduction's modeled or
+// measured values and the resulting deltas. The cmd/rlwe-tables binary and
+// the EXPERIMENTS.md record are produced from here.
+package paper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a renderable comparison table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned markdown-compatible text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		return s + strings.Repeat(" ", w-len([]rune(s)))
+	}
+	var b strings.Builder
+	b.WriteString("| ")
+	for i, h := range t.Header {
+		b.WriteString(pad(h, widths[i]))
+		b.WriteString(" | ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	b.Reset()
+	b.WriteString("|")
+	for _, wd := range widths {
+		b.WriteString(strings.Repeat("-", wd+2))
+		b.WriteString("|")
+	}
+	fmt.Fprintln(w, b.String())
+	for _, row := range t.Rows {
+		b.Reset()
+		b.WriteString("| ")
+		for i, cell := range row {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			b.WriteString(pad(cell, wd))
+			b.WriteString(" | ")
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n%s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// delta formats the relative difference of got vs paper.
+func delta(got, paper float64) string {
+	if paper == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(got/paper-1))
+}
+
+func commas(v uint64) string {
+	s := fmt.Sprintf("%d", v)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,254 @@
+// Package protocol implements a small secure-channel handshake over the
+// ring-LWE KEM — the "interconnected devices, even over the Internet"
+// scenario the paper's introduction motivates, and the use case its
+// Table III peer [9] (Bos et al., ring-LWE key exchange for TLS)
+// evaluates.
+//
+// Wire flow (client ↔ server over any reliable byte stream):
+//
+//	C → S   HELLO  ‖ parameter tag
+//	S → C   server public key
+//	C → S   KEM encapsulation blob
+//	S → C   status (OK, or RETRY after an intrinsic LPR decryption
+//	        failure, in which case the client encapsulates again)
+//
+// Both sides then derive direction-separated AES-128-CTR + HMAC-SHA256
+// keys from the shared secret and exchange length-prefixed sealed records
+// with monotonic sequence numbers (replay and reorder detection).
+package protocol
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ringlwe"
+)
+
+// Protocol constants.
+const (
+	helloMagic   = 0x524C // "RL"
+	statusOK     = 0
+	statusRetry  = 1
+	maxRetries   = 8
+	maxRecordLen = 1 << 20
+	tagLen       = 16
+)
+
+// Channel is an established secure channel. Not safe for concurrent use;
+// callers serialize Send/Recv per side as usual for record protocols.
+type Channel struct {
+	rw      io.ReadWriter
+	sendKey [16]byte
+	recvKey [16]byte
+	sendMAC [32]byte
+	recvMAC [32]byte
+	sendSeq uint64
+	recvSeq uint64
+	// Retries records how many KEM retries the handshake needed (usually 0;
+	// each intrinsic LPR decryption failure adds one).
+	Retries int
+}
+
+// Client performs the initiator side of the handshake: receives the
+// server's public key, encapsulates, and derives record keys.
+func Client(rw io.ReadWriter, scheme *ringlwe.Scheme, params *ringlwe.Params) (*Channel, error) {
+	var hello [4]byte
+	binary.BigEndian.PutUint16(hello[:2], helloMagic)
+	hello[2] = paramTag(params)
+	if _, err := rw.Write(hello[:]); err != nil {
+		return nil, fmt.Errorf("protocol: hello: %w", err)
+	}
+
+	pkBytes := make([]byte, params.PublicKeySize())
+	if _, err := io.ReadFull(rw, pkBytes); err != nil {
+		return nil, fmt.Errorf("protocol: reading server key: %w", err)
+	}
+	pk, err := ringlwe.ParsePublicKey(params, pkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		blob, key, err := scheme.Encapsulate(pk)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: encapsulate: %w", err)
+		}
+		if _, err := rw.Write(blob); err != nil {
+			return nil, fmt.Errorf("protocol: sending encapsulation: %w", err)
+		}
+		var status [1]byte
+		if _, err := io.ReadFull(rw, status[:]); err != nil {
+			return nil, fmt.Errorf("protocol: reading status: %w", err)
+		}
+		switch status[0] {
+		case statusOK:
+			ch := &Channel{rw: rw, Retries: attempt}
+			ch.deriveKeys(key, true)
+			return ch, nil
+		case statusRetry:
+			continue
+		default:
+			return nil, fmt.Errorf("protocol: unknown status %d", status[0])
+		}
+	}
+	return nil, errors.New("protocol: too many decapsulation retries")
+}
+
+// Server performs the responder side using its long-term key pair.
+func Server(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ringlwe.PrivateKey) (*Channel, error) {
+	params := pk.Params()
+	var hello [4]byte
+	if _, err := io.ReadFull(rw, hello[:]); err != nil {
+		return nil, fmt.Errorf("protocol: hello: %w", err)
+	}
+	if binary.BigEndian.Uint16(hello[:2]) != helloMagic {
+		return nil, errors.New("protocol: bad hello magic")
+	}
+	if hello[2] != paramTag(params) {
+		return nil, fmt.Errorf("protocol: client requested parameter tag %d, server has %d",
+			hello[2], paramTag(params))
+	}
+	if _, err := rw.Write(pk.Bytes()); err != nil {
+		return nil, fmt.Errorf("protocol: sending public key: %w", err)
+	}
+
+	blob := make([]byte, params.EncapsulationSize())
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if _, err := io.ReadFull(rw, blob); err != nil {
+			return nil, fmt.Errorf("protocol: reading encapsulation: %w", err)
+		}
+		key, err := scheme.Decapsulate(sk, ringlwe.EncapsulatedKey(blob))
+		if errors.Is(err, ringlwe.ErrDecapsulation) {
+			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
+				return nil, fmt.Errorf("protocol: sending retry: %w", werr)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("protocol: decapsulate: %w", err)
+		}
+		if _, err := rw.Write([]byte{statusOK}); err != nil {
+			return nil, fmt.Errorf("protocol: sending ok: %w", err)
+		}
+		ch := &Channel{rw: rw, Retries: attempt}
+		ch.deriveKeys(key, false)
+		return ch, nil
+	}
+	return nil, errors.New("protocol: too many decapsulation retries")
+}
+
+func paramTag(p *ringlwe.Params) byte {
+	switch p.Name() {
+	case "P1":
+		return 1
+	case "P2":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// deriveKeys expands the shared secret into four directional keys.
+// isClient flips which derivation feeds which direction.
+func (c *Channel) deriveKeys(shared [ringlwe.SharedKeySize]byte, isClient bool) {
+	expand := func(label string) [32]byte {
+		h := sha256.New()
+		h.Write([]byte("ringlwe-channel-v1 " + label))
+		h.Write(shared[:])
+		var out [32]byte
+		copy(out[:], h.Sum(nil))
+		return out
+	}
+	c2s := expand("c2s")
+	s2c := expand("s2c")
+	c2sMAC := expand("c2s-mac")
+	s2cMAC := expand("s2c-mac")
+	if isClient {
+		copy(c.sendKey[:], c2s[:16])
+		copy(c.recvKey[:], s2c[:16])
+		c.sendMAC, c.recvMAC = c2sMAC, s2cMAC
+	} else {
+		copy(c.sendKey[:], s2c[:16])
+		copy(c.recvKey[:], c2s[:16])
+		c.sendMAC, c.recvMAC = s2cMAC, c2sMAC
+	}
+}
+
+// record layout: 4-byte length ‖ ciphertext ‖ 16-byte truncated HMAC over
+// (seq ‖ length ‖ ciphertext).
+
+func stream(key [16]byte, seq uint64, data []byte) []byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err)
+	}
+	var iv [16]byte
+	binary.BigEndian.PutUint64(iv[:8], seq)
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, data)
+	return out
+}
+
+func (c *Channel) mac(key [32]byte, seq uint64, length uint32, ct []byte) []byte {
+	m := hmac.New(sha256.New, key[:])
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	binary.BigEndian.PutUint32(hdr[8:], length)
+	m.Write(hdr[:])
+	m.Write(ct)
+	return m.Sum(nil)[:tagLen]
+}
+
+// Send seals and writes one record.
+func (c *Channel) Send(msg []byte) error {
+	if len(msg) > maxRecordLen {
+		return fmt.Errorf("protocol: record too large (%d bytes)", len(msg))
+	}
+	ct := stream(c.sendKey, c.sendSeq, msg)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(ct)))
+	tag := c.mac(c.sendMAC, c.sendSeq, uint32(len(ct)), ct)
+	c.sendSeq++
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(ct); err != nil {
+		return err
+	}
+	_, err := c.rw.Write(tag)
+	return err
+}
+
+// Recv reads and opens one record. Authentication failures and replays
+// surface as errors and poison nothing: the caller may close the channel.
+func (c *Channel) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("protocol: oversized record (%d bytes)", length)
+	}
+	ct := make([]byte, length)
+	if _, err := io.ReadFull(c.rw, ct); err != nil {
+		return nil, err
+	}
+	tag := make([]byte, tagLen)
+	if _, err := io.ReadFull(c.rw, tag); err != nil {
+		return nil, err
+	}
+	want := c.mac(c.recvMAC, c.recvSeq, length, ct)
+	if !hmac.Equal(tag, want) {
+		return nil, errors.New("protocol: record authentication failed")
+	}
+	msg := stream(c.recvKey, c.recvSeq, ct)
+	c.recvSeq++
+	return msg, nil
+}

@@ -1,0 +1,261 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"ringlwe"
+)
+
+// rwShim pairs a reader with a writer to satisfy io.ReadWriter in tests.
+type rwShim struct {
+	io.Reader
+	io.Writer
+}
+
+// handshakePair establishes a channel over an in-memory duplex pipe.
+func handshakePair(t *testing.T, params *ringlwe.Params) (client, server *Channel) {
+	t.Helper()
+	serverScheme := ringlwe.NewDeterministic(params, 1001)
+	pk, sk, err := serverScheme.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientScheme := ringlwe.NewDeterministic(params, 1002)
+
+	cConn, sConn := net.Pipe()
+	var wg sync.WaitGroup
+	var sErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, sErr = Server(sConn, serverScheme, pk, sk)
+	}()
+	client, cErr := Client(cConn, clientScheme, params)
+	wg.Wait()
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	return client, server
+}
+
+func TestHandshakeAndRecords(t *testing.T) {
+	for _, params := range []*ringlwe.Params{ringlwe.P1(), ringlwe.P2()} {
+		client, server := handshakePair(t, params)
+
+		// Bidirectional traffic with interleaving.
+		msgs := [][]byte{
+			[]byte("hello from client"),
+			bytes.Repeat([]byte("bulk "), 1000),
+			{},
+			{0x00, 0xFF, 0x80},
+		}
+		done := make(chan error, 1)
+		go func() {
+			for _, want := range msgs {
+				got, err := server.Recv()
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, want) {
+					done <- bytes.ErrTooLarge // sentinel misuse is fine in-test
+					return
+				}
+				if err := server.Send(append([]byte("ack:"), got...)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		for _, m := range msgs {
+			if err := client.Send(m); err != nil {
+				t.Fatal(err)
+			}
+			ack, err := client.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ack, append([]byte("ack:"), m...)) {
+				t.Fatalf("%s: bad ack", params.Name())
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHandshakeOverTCP(t *testing.T) {
+	params := ringlwe.P1()
+	serverScheme := ringlwe.NewDeterministic(params, 2001)
+	pk, sk, err := serverScheme.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer ln.Close()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer conn.Close()
+		ch, err := Server(conn, serverScheme, pk, sk)
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		msg, err := ch.Recv()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		serverDone <- ch.Send(append([]byte("echo:"), msg...))
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	clientScheme := ringlwe.NewDeterministic(params, 2002)
+	ch, err := Client(conn, clientScheme, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send([]byte("over real TCP")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:over real TCP" {
+		t.Fatalf("reply %q", reply)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordTampering(t *testing.T) {
+	client, server := handshakePair(t, ringlwe.P1())
+	// Tamper in flight: intercept with a buffer.
+	var wire bytes.Buffer
+	tampered := &Channel{
+		rw:      &wire,
+		sendKey: client.sendKey, sendMAC: client.sendMAC,
+	}
+	if err := tampered.Send([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()
+	raw[5] ^= 1 // flip a ciphertext bit
+
+	server.rw = rwShim{bytes.NewReader(raw), io.Discard}
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("tampered record accepted")
+	}
+	_ = client
+}
+
+func TestReplayRejected(t *testing.T) {
+	client, server := handshakePair(t, ringlwe.P1())
+	var wire bytes.Buffer
+	sender := &Channel{rw: &wire, sendKey: client.sendKey, sendMAC: client.sendMAC}
+	if err := sender.Send([]byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	record := append([]byte(nil), wire.Bytes()...)
+
+	// First delivery succeeds.
+	server.rw = rwShim{bytes.NewReader(record), io.Discard}
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the identical bytes must fail: the receive sequence moved.
+	server.rw = rwShim{bytes.NewReader(record), io.Discard}
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("replayed record accepted")
+	}
+}
+
+func TestParameterMismatchFails(t *testing.T) {
+	serverScheme := ringlwe.NewDeterministic(ringlwe.P1(), 3001)
+	pk, sk, err := serverScheme.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	go func() {
+		// Client asks for P2 against a P1 server.
+		clientScheme := ringlwe.NewDeterministic(ringlwe.P2(), 3002)
+		_, _ = Client(cConn, clientScheme, ringlwe.P2())
+		cConn.Close()
+	}()
+	if _, err := Server(sConn, serverScheme, pk, sk); err == nil {
+		t.Fatal("parameter mismatch accepted")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	client, _ := handshakePair(t, ringlwe.P1())
+	if err := client.Send(make([]byte, maxRecordLen+1)); err == nil {
+		t.Fatal("oversized send accepted")
+	}
+	// A forged oversized header must be rejected before allocation.
+	ch := &Channel{rw: rwShim{bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}), io.Discard}}
+	if _, err := ch.Recv(); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+// Retry exhaustion: a server holding the wrong private key rejects every
+// encapsulation; the client must give up after maxRetries instead of
+// looping forever.
+func TestRetryExhaustion(t *testing.T) {
+	params := ringlwe.P1()
+	serverScheme := ringlwe.NewDeterministic(params, 4001)
+	pk, _, err := serverScheme.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wrongSk, err := serverScheme.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cConn, sConn := net.Pipe()
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := Server(sConn, serverScheme, pk, wrongSk)
+		serverDone <- err
+	}()
+	clientScheme := ringlwe.NewDeterministic(params, 4002)
+	_, cErr := Client(cConn, clientScheme, params)
+	sErr := <-serverDone
+	if cErr == nil && sErr == nil {
+		t.Fatal("handshake with a mismatched private key succeeded")
+	}
+}
+
+func TestDirectionKeysDiffer(t *testing.T) {
+	client, server := handshakePair(t, ringlwe.P1())
+	if client.sendKey == client.recvKey {
+		t.Error("client directions share a key")
+	}
+	if client.sendKey != server.recvKey || client.recvKey != server.sendKey {
+		t.Error("client/server directional keys do not pair up")
+	}
+}

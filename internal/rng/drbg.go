@@ -1,0 +1,48 @@
+package rng
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// HashDRBG is a deterministic random bit generator: SHA-256 in counter
+// mode over a seed. It exists for derandomized encryption (the
+// Fujisaki-Okamoto transform re-derives the encryption coins from the
+// message, so the same message and seed must reproduce the exact
+// ciphertext) and is indistinguishable from random as long as SHA-256 is.
+// It is NOT a general-purpose CSPRNG replacement: it never reseeds.
+type HashDRBG struct {
+	seed    [32]byte
+	counter uint64
+	buf     [32]byte
+	used    int
+}
+
+// NewHashDRBG builds a generator over the given seed material (hashed to
+// 32 bytes, so any length is accepted).
+func NewHashDRBG(seed []byte) *HashDRBG {
+	d := &HashDRBG{used: 32}
+	d.seed = sha256.Sum256(seed)
+	return d
+}
+
+func (d *HashDRBG) refill() {
+	h := sha256.New()
+	h.Write(d.seed[:])
+	var ctr [8]byte
+	binary.LittleEndian.PutUint64(ctr[:], d.counter)
+	h.Write(ctr[:])
+	d.counter++
+	copy(d.buf[:], h.Sum(nil))
+	d.used = 0
+}
+
+// Uint32 returns the next deterministic word.
+func (d *HashDRBG) Uint32() uint32 {
+	if d.used+4 > len(d.buf) {
+		d.refill()
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.used:])
+	d.used += 4
+	return v
+}

@@ -1,0 +1,45 @@
+package rng
+
+import "testing"
+
+func TestHashDRBGDeterminism(t *testing.T) {
+	a := NewHashDRBG([]byte("seed material"))
+	b := NewHashDRBG([]byte("seed material"))
+	for i := 0; i < 10000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := NewHashDRBG([]byte("seed materiaL"))
+	a = NewHashDRBG([]byte("seed material"))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == c.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("1-bit seed change left %d/1000 words equal", same)
+	}
+}
+
+func TestHashDRBGSeedLengths(t *testing.T) {
+	// Any seed length must work, including empty.
+	for _, n := range []int{0, 1, 31, 32, 33, 100} {
+		d := NewHashDRBG(make([]byte, n))
+		d.Uint32()
+	}
+	// Different lengths of zeros give different streams (length is hashed).
+	a := NewHashDRBG(make([]byte, 4))
+	b := NewHashDRBG(make([]byte, 5))
+	if a.Uint32() == b.Uint32() && a.Uint32() == b.Uint32() {
+		t.Error("different-length zero seeds coincide")
+	}
+}
+
+func TestHashDRBGHealth(t *testing.T) {
+	results, ok := HealthCheck(NewHashDRBG([]byte("health")))
+	if !ok {
+		t.Errorf("HashDRBG failed the FIPS-style health checks: %+v", results)
+	}
+}

@@ -1,0 +1,142 @@
+package rng
+
+// NIST-lite statistical self-tests. The paper relies on STMicroelectronics'
+// AN4230 validation of the STM32F4 TRNG against the NIST SP 800-22 suite;
+// since our TRNG is simulated, we provide the three classical FIPS 140-1
+// style checks (monobit, poker, runs) so any Source can be spot-checked the
+// same way. These are health tests, not proofs of randomness.
+
+import (
+	"fmt"
+	"math"
+)
+
+// StatResult reports one statistical health test.
+type StatResult struct {
+	Name      string
+	Statistic float64
+	// Pass is true when the statistic falls inside the FIPS 140-1 window.
+	Pass bool
+	// Detail describes the acceptance window.
+	Detail string
+}
+
+// collectBits draws exactly 20 000 bits from src (the FIPS 140-1 sample
+// size) as a byte-per-bit slice.
+func collectBits(src Source) []byte {
+	const nbits = 20000
+	out := make([]byte, nbits)
+	var word uint32
+	var have uint
+	for i := range out {
+		if have == 0 {
+			word = src.Uint32()
+			have = 32
+		}
+		out[i] = byte(word & 1)
+		word >>= 1
+		have--
+	}
+	return out
+}
+
+// MonobitTest counts ones in 20 000 bits; FIPS 140-1 accepts 9 654 < ones <
+// 10 346.
+func MonobitTest(src Source) StatResult {
+	bits := collectBits(src)
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	return StatResult{
+		Name:      "monobit",
+		Statistic: float64(ones),
+		Pass:      ones > 9654 && ones < 10346,
+		Detail:    "9654 < ones < 10346 over 20000 bits",
+	}
+}
+
+// PokerTest partitions 20 000 bits into 5 000 nibbles and computes the
+// chi-square-like statistic X = 16/5000 · Σ f(i)² − 5000; FIPS 140-1 accepts
+// 1.03 < X < 57.4.
+func PokerTest(src Source) StatResult {
+	bits := collectBits(src)
+	var freq [16]int
+	for i := 0; i+4 <= len(bits); i += 4 {
+		v := bits[i] | bits[i+1]<<1 | bits[i+2]<<2 | bits[i+3]<<3
+		freq[v]++
+	}
+	var sum float64
+	for _, f := range freq {
+		sum += float64(f) * float64(f)
+	}
+	x := 16.0/5000.0*sum - 5000.0
+	return StatResult{
+		Name:      "poker",
+		Statistic: x,
+		Pass:      x > 1.03 && x < 57.4,
+		Detail:    "1.03 < X < 57.4",
+	}
+}
+
+// runsWindows holds the FIPS 140-1 acceptance intervals for runs of length
+// 1..6+ (same for runs of zeros and of ones).
+var runsWindows = [6][2]int{
+	{2267, 2733}, {1079, 1421}, {502, 748}, {223, 402}, {90, 223}, {90, 223},
+}
+
+// RunsTest counts maximal runs of each length for both bit values; every
+// count must fall in its FIPS 140-1 window, and no run may reach length 34
+// (the long-run test).
+func RunsTest(src Source) StatResult {
+	bits := collectBits(src)
+	var runs [2][6]int
+	longRun := 0
+	runLen := 1
+	for i := 1; i <= len(bits); i++ {
+		if i < len(bits) && bits[i] == bits[i-1] {
+			runLen++
+			continue
+		}
+		v := bits[i-1]
+		idx := runLen
+		if idx > 6 {
+			idx = 6
+		}
+		runs[v][idx-1]++
+		if runLen > longRun {
+			longRun = runLen
+		}
+		runLen = 1
+	}
+	pass := longRun < 34
+	worst := 0.0
+	for v := 0; v < 2; v++ {
+		for l := 0; l < 6; l++ {
+			w := runsWindows[l]
+			if runs[v][l] < w[0] || runs[v][l] > w[1] {
+				pass = false
+			}
+			dev := math.Abs(float64(runs[v][l]) - float64(w[0]+w[1])/2)
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	return StatResult{
+		Name:      "runs",
+		Statistic: float64(longRun),
+		Pass:      pass,
+		Detail:    fmt.Sprintf("run-length windows per FIPS 140-1; longest run %d (<34)", longRun),
+	}
+}
+
+// HealthCheck runs all three tests and reports whether every one passed.
+func HealthCheck(src Source) ([]StatResult, bool) {
+	results := []StatResult{MonobitTest(src), PokerTest(src), RunsTest(src)}
+	ok := true
+	for _, r := range results {
+		ok = ok && r.Pass
+	}
+	return results, ok
+}

@@ -1,0 +1,142 @@
+// Package swar implements SIMD-within-a-register modular arithmetic for
+// the paper's future-work direction ("an efficient implementation for a
+// Single Instruction Multiple Data (SIMD) processor (e.g., ARM NEON)",
+// §V). Four 16-bit coefficient lanes travel in one 64-bit word — the
+// software analogue of a 4×16-bit NEON lane group, and a superset of the
+// Cortex-M4's own 2×16-bit DSP instructions (UADD16/USUB16).
+//
+// Both paper moduli fit in 14 bits, so lane values stay below 2^14, lane
+// sums below 2^15, and neither additions nor the guarded comparisons ever
+// carry or borrow across lane boundaries. All reductions are branchless
+// mask arithmetic, making the operations constant time with respect to
+// coefficient values — which connects to the paper's other future-work
+// item, constant-time execution.
+//
+// The package covers the additive layer (the part 16-bit SIMD accelerates
+// on real hardware); lane-parallel multiplication needs widening multiplies
+// (NEON vmull) that have no efficient SWAR equivalent, so pointwise
+// products remain scalar.
+package swar
+
+import "fmt"
+
+// Lanes is the number of coefficients per vector word.
+const Lanes = 4
+
+const (
+	laneBits = 16
+	laneMask = (uint64(1) << laneBits) - 1
+	// msbEach has bit 15 of every lane set.
+	msbEach = 0x8000800080008000
+)
+
+// Vector is a packed group of four residues mod q.
+type Vector uint64
+
+// Modulus precomputes the lane-replicated constants for one modulus.
+type Modulus struct {
+	// Q is the scalar modulus.
+	Q uint32
+	// qEach replicates Q into every lane.
+	qEach uint64
+}
+
+// NewModulus validates q and precomputes lane constants. q must be below
+// 2^14 so that a lane sum of two residues keeps bit 15 free for the
+// borrowless comparison trick (both paper moduli qualify: 7681 and 12289).
+func NewModulus(q uint32) (*Modulus, error) {
+	if q == 0 || q >= 1<<14 {
+		return nil, fmt.Errorf("swar: modulus %d out of range (0, 2^14)", q)
+	}
+	x := uint64(q)
+	return &Modulus{Q: q, qEach: x | x<<16 | x<<32 | x<<48}, nil
+}
+
+// Pack loads four residues (each < q) into a vector, lane 0 first.
+func Pack(a, b, c, d uint32) Vector {
+	return Vector((uint64(a) & laneMask) |
+		(uint64(b)&laneMask)<<16 |
+		(uint64(c)&laneMask)<<32 |
+		(uint64(d)&laneMask)<<48)
+}
+
+// Unpack splits a vector into its four lanes.
+func (v Vector) Unpack() (a, b, c, d uint32) {
+	return uint32(uint64(v) & laneMask), uint32(uint64(v) >> 16 & laneMask),
+		uint32(uint64(v) >> 32 & laneMask), uint32(uint64(v) >> 48 & laneMask)
+}
+
+// Lane returns lane i (0 ≤ i < Lanes).
+func (v Vector) Lane(i int) uint32 {
+	return uint32(uint64(v) >> (laneBits * uint(i)) & laneMask)
+}
+
+// condSubQ reduces every 16-bit lane of sum — each assumed < 2^15 — into
+// [0, q) by a branchless conditional subtraction:
+//
+//	u    = (sum | msb) - q     per lane; safe because every lane of the
+//	                           left operand is ≥ 2^15 > q, so no lane
+//	                           borrows and the word-level subtraction
+//	                           cannot cross lanes
+//	ge   = bit 15 of u         1 exactly when the lane value ≥ q
+//	mask = ge smeared to 16 bits  ((ge<<16) - ge spreads each lane's LSB)
+//	out  = sum - (q & mask)    again borrowless per construction
+func (m *Modulus) condSubQ(sum uint64) Vector {
+	u := (sum | msbEach) - m.qEach
+	ge := (u & msbEach) >> (laneBits - 1)
+	mask := (ge << laneBits) - ge
+	return Vector(sum - (m.qEach & mask))
+}
+
+// Add returns lane-wise (x + y) mod q for reduced inputs.
+func (m *Modulus) Add(x, y Vector) Vector {
+	return m.condSubQ(uint64(x) + uint64(y)) // lanes < 2^15: no carry
+}
+
+// Sub returns lane-wise (x - y) mod q for reduced inputs: computed as
+// (x + q) - y, which never borrows, then conditionally reduced.
+func (m *Modulus) Sub(x, y Vector) Vector {
+	return m.condSubQ(uint64(x) + m.qEach - uint64(y))
+}
+
+// PackSlice packs a coefficient slice (length divisible by Lanes) into
+// vectors.
+func PackSlice(a []uint32) []Vector {
+	if len(a)%Lanes != 0 {
+		panic("swar: slice length must be a multiple of 4")
+	}
+	out := make([]Vector, len(a)/Lanes)
+	for i := range out {
+		out[i] = Pack(a[4*i], a[4*i+1], a[4*i+2], a[4*i+3])
+	}
+	return out
+}
+
+// UnpackSlice reverses PackSlice.
+func UnpackSlice(v []Vector) []uint32 {
+	out := make([]uint32, Lanes*len(v))
+	for i, w := range v {
+		out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = w.Unpack()
+	}
+	return out
+}
+
+// AddSlice sets dst = a + b lane-wise; aliasing is allowed.
+func (m *Modulus) AddSlice(dst, a, b []Vector) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("swar: AddSlice length mismatch")
+	}
+	for i := range dst {
+		dst[i] = m.Add(a[i], b[i])
+	}
+}
+
+// SubSlice sets dst = a - b lane-wise; aliasing is allowed.
+func (m *Modulus) SubSlice(dst, a, b []Vector) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("swar: SubSlice length mismatch")
+	}
+	for i := range dst {
+		dst[i] = m.Sub(a[i], b[i])
+	}
+}

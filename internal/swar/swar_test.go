@@ -1,0 +1,195 @@
+package swar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewModulusBounds(t *testing.T) {
+	for _, q := range []uint32{0, 1 << 14, 1 << 15, 65535} {
+		if _, err := NewModulus(q); err == nil {
+			t.Errorf("q=%d accepted", q)
+		}
+	}
+	for _, q := range []uint32{2, 7681, 12289, (1 << 14) - 1} {
+		if _, err := NewModulus(q); err != nil {
+			t.Errorf("q=%d rejected: %v", q, err)
+		}
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	v := Pack(1, 2, 3, 4)
+	a, b, c, d := v.Unpack()
+	if a != 1 || b != 2 || c != 3 || d != 4 {
+		t.Fatalf("unpack = %d,%d,%d,%d", a, b, c, d)
+	}
+	for i, want := range []uint32{1, 2, 3, 4} {
+		if v.Lane(i) != want {
+			t.Fatalf("Lane(%d) = %d", i, v.Lane(i))
+		}
+	}
+}
+
+// Every lane result must match scalar modular arithmetic, for both paper
+// moduli, across random and boundary inputs.
+func TestAddSubMatchScalar(t *testing.T) {
+	for _, q := range []uint32{7681, 12289} {
+		m, err := NewModulus(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(q)))
+		check := func(x, y [4]uint32) {
+			vx := Pack(x[0], x[1], x[2], x[3])
+			vy := Pack(y[0], y[1], y[2], y[3])
+			add := m.Add(vx, vy)
+			sub := m.Sub(vx, vy)
+			for i := 0; i < Lanes; i++ {
+				wantAdd := (x[i] + y[i]) % q
+				wantSub := (x[i] + q - y[i]) % q
+				if add.Lane(i) != wantAdd {
+					t.Fatalf("q=%d lane %d: Add(%d,%d) = %d, want %d", q, i, x[i], y[i], add.Lane(i), wantAdd)
+				}
+				if sub.Lane(i) != wantSub {
+					t.Fatalf("q=%d lane %d: Sub(%d,%d) = %d, want %d", q, i, x[i], y[i], sub.Lane(i), wantSub)
+				}
+			}
+		}
+		// Boundary lanes, including mixed boundaries across lanes to catch
+		// cross-lane interference.
+		check([4]uint32{0, q - 1, 0, q - 1}, [4]uint32{0, q - 1, q - 1, 0})
+		check([4]uint32{q - 1, q - 1, q - 1, q - 1}, [4]uint32{q - 1, q - 1, q - 1, q - 1})
+		check([4]uint32{0, 0, 0, 0}, [4]uint32{0, 0, 0, 0})
+		check([4]uint32{1, q - 1, q / 2, q/2 + 1}, [4]uint32{q - 1, 1, q / 2, q / 2})
+		for i := 0; i < 20000; i++ {
+			var x, y [4]uint32
+			for l := range x {
+				x[l] = r.Uint32() % q
+				y[l] = r.Uint32() % q
+			}
+			check(x, y)
+		}
+	}
+}
+
+// Property-based: lane independence — an operation on lane i must not
+// depend on the contents of other lanes.
+func TestLaneIndependenceQuick(t *testing.T) {
+	m, err := NewModulus(7681)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3, c1, c2, c3, d1, d2, d3 uint16) bool {
+		q := m.Q
+		x := Pack(uint32(a0)%q, uint32(a1)%q, uint32(a2)%q, uint32(a3)%q)
+		y := Pack(uint32(b0)%q, uint32(b1)%q, uint32(b2)%q, uint32(b3)%q)
+		// Same lane 0, different other lanes.
+		x2 := Pack(uint32(a0)%q, uint32(c1)%q, uint32(c2)%q, uint32(c3)%q)
+		y2 := Pack(uint32(b0)%q, uint32(d1)%q, uint32(d2)%q, uint32(d3)%q)
+		return m.Add(x, y).Lane(0) == m.Add(x2, y2).Lane(0) &&
+			m.Sub(x, y).Lane(0) == m.Sub(x2, y2).Lane(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceOps(t *testing.T) {
+	m, err := NewModulus(7681)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	n := 256
+	a := make([]uint32, n)
+	b := make([]uint32, n)
+	for i := range a {
+		a[i] = r.Uint32() % m.Q
+		b[i] = r.Uint32() % m.Q
+	}
+	va, vb := PackSlice(a), PackSlice(b)
+	sum := make([]Vector, len(va))
+	diff := make([]Vector, len(va))
+	m.AddSlice(sum, va, vb)
+	m.SubSlice(diff, va, vb)
+	su := UnpackSlice(sum)
+	du := UnpackSlice(diff)
+	for i := 0; i < n; i++ {
+		if su[i] != (a[i]+b[i])%m.Q {
+			t.Fatalf("AddSlice differs at %d", i)
+		}
+		if du[i] != (a[i]+m.Q-b[i])%m.Q {
+			t.Fatalf("SubSlice differs at %d", i)
+		}
+	}
+	// Round trip.
+	back := UnpackSlice(PackSlice(a))
+	for i := range a {
+		if back[i] != a[i] {
+			t.Fatalf("pack/unpack slice differs at %d", i)
+		}
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	m, _ := NewModulus(7681)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PackSlice accepted a non-multiple-of-4 length")
+			}
+		}()
+		PackSlice(make([]uint32, 5))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddSlice accepted mismatched lengths")
+			}
+		}()
+		m.AddSlice(make([]Vector, 1), make([]Vector, 2), make([]Vector, 2))
+	}()
+}
+
+func BenchmarkAddSliceSWAR(b *testing.B) {
+	m, _ := NewModulus(7681)
+	r := rand.New(rand.NewSource(1))
+	n := 256
+	a := make([]uint32, n)
+	c := make([]uint32, n)
+	for i := range a {
+		a[i] = r.Uint32() % m.Q
+		c[i] = r.Uint32() % m.Q
+	}
+	va, vc := PackSlice(a), PackSlice(c)
+	dst := make([]Vector, len(va))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddSlice(dst, va, vc)
+	}
+}
+
+func BenchmarkAddSliceScalar(b *testing.B) {
+	const q = 7681
+	r := rand.New(rand.NewSource(1))
+	n := 256
+	a := make([]uint32, n)
+	c := make([]uint32, n)
+	dst := make([]uint32, n)
+	for i := range a {
+		a[i] = r.Uint32() % q
+		c[i] = r.Uint32() % q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			s := a[j] + c[j]
+			if s >= q {
+				s -= q
+			}
+			dst[j] = s
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package zq
+
+import "fmt"
+
+// Montgomery arithmetic with R = 2^16 — the reduction style an
+// assembly-level implementation would weigh against Barrett (the paper's
+// cycle budget of ~7 per modular multiplication is achievable with either;
+// Montgomery keeps the multiplier chain shorter at the cost of domain
+// conversions). Provided as an alternative engine and ablation subject;
+// the NTT kernels default to Barrett.
+//
+// R = 2^16 suits the paper's halfword coefficients: a Montgomery product
+// of two 14-bit residues needs only 32-bit intermediates.
+
+// Mont bundles the Montgomery constants for a modulus with BitLen ≤ 15.
+type Mont struct {
+	M *Modulus
+	// r2 = R² mod q converts into the domain via MulMont(a, r2).
+	r2 uint32
+	// qInvNeg = -q⁻¹ mod R drives the REDC step.
+	qInvNeg uint32
+}
+
+const montR = 1 << 16
+
+// NewMont precomputes Montgomery constants. The modulus must fit 15 bits
+// so that the REDC intermediate t + m·q stays below 2^32.
+func NewMont(m *Modulus) (*Mont, error) {
+	if m.BitLen() > 15 {
+		return nil, fmt.Errorf("zq: Montgomery R=2^16 needs q < 2^15, got %d", m.Q)
+	}
+	// q⁻¹ mod 2^16 by Newton iteration over the 2-adics.
+	q := uint32(m.Q)
+	inv := q // correct mod 2^3 for odd q... start with q (odd), then iterate
+	for i := 0; i < 4; i++ {
+		inv *= 2 - q*inv // doubles the number of correct low bits
+	}
+	inv &= montR - 1
+	if q*inv&(montR-1) != 1 {
+		return nil, fmt.Errorf("zq: Montgomery inverse computation failed for q=%d", q)
+	}
+	r2 := uint32((uint64(montR) * uint64(montR)) % uint64(q))
+	return &Mont{M: m, r2: r2, qInvNeg: (montR - inv) & (montR - 1)}, nil
+}
+
+// redc reduces t < q·R to t·R⁻¹ mod q.
+func (mo *Mont) redc(t uint32) uint32 {
+	m := (t & (montR - 1)) * mo.qInvNeg & (montR - 1)
+	u := (t + m*mo.M.Q) >> 16
+	if u >= mo.M.Q {
+		u -= mo.M.Q
+	}
+	return u
+}
+
+// ToMont converts a canonical residue into the Montgomery domain (a·R).
+func (mo *Mont) ToMont(a uint32) uint32 { return mo.redc(a * mo.r2) }
+
+// FromMont converts back to the canonical domain.
+func (mo *Mont) FromMont(a uint32) uint32 { return mo.redc(a) }
+
+// MulMont multiplies two Montgomery-domain values, staying in the domain:
+// (aR)·(bR)·R⁻¹ = abR.
+func (mo *Mont) MulMont(a, b uint32) uint32 { return mo.redc(a * b) }
+
+// Mul multiplies two canonical residues through the Montgomery pipeline —
+// a drop-in check against Modulus.Mul (conversions included, so it is
+// slower; real users keep operands in the domain across whole transforms).
+func (mo *Mont) Mul(a, b uint32) uint32 {
+	return mo.FromMont(mo.MulMont(mo.ToMont(a), mo.ToMont(b)))
+}

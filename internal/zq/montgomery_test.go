@@ -1,0 +1,95 @@
+package zq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMontBounds(t *testing.T) {
+	if _, err := NewMont(MustModulus(65537)); err == nil {
+		t.Error("17-bit modulus accepted")
+	}
+	for _, q := range []uint32{7681, 12289, 17} {
+		if _, err := NewMont(MustModulus(q)); err != nil {
+			t.Errorf("q=%d rejected: %v", q, err)
+		}
+	}
+}
+
+func TestMontRoundTrip(t *testing.T) {
+	for _, q := range []uint32{7681, 12289} {
+		mo, err := NewMont(MustModulus(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint32(0); a < q; a++ {
+			if got := mo.FromMont(mo.ToMont(a)); got != a {
+				t.Fatalf("q=%d: roundtrip(%d) = %d", q, a, got)
+			}
+		}
+	}
+}
+
+func TestMontMulMatchesBarrett(t *testing.T) {
+	for _, q := range []uint32{7681, 12289} {
+		m := MustModulus(q)
+		mo, err := NewMont(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(q)))
+		for i := 0; i < 20000; i++ {
+			a := r.Uint32() % q
+			b := r.Uint32() % q
+			if got, want := mo.Mul(a, b), m.Mul(a, b); got != want {
+				t.Fatalf("q=%d: Mont.Mul(%d,%d) = %d, Barrett %d", q, a, b, got, want)
+			}
+		}
+		// Boundaries.
+		for _, a := range []uint32{0, 1, q - 1} {
+			for _, b := range []uint32{0, 1, q - 1} {
+				if got, want := mo.Mul(a, b), m.Mul(a, b); got != want {
+					t.Fatalf("q=%d boundary: Mont.Mul(%d,%d) = %d, want %d", q, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// In-domain arithmetic is a ring homomorphism: MulMont is associative and
+// ToMont(1) is its identity.
+func TestMontDomainAlgebraQuick(t *testing.T) {
+	m := MustModulus(7681)
+	mo, err := NewMont(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := mo.ToMont(1)
+	f := func(a, b, c uint32) bool {
+		am, bm, cm := mo.ToMont(a%m.Q), mo.ToMont(b%m.Q), mo.ToMont(c%m.Q)
+		if mo.MulMont(am, one) != am {
+			return false
+		}
+		l := mo.MulMont(mo.MulMont(am, bm), cm)
+		r := mo.MulMont(am, mo.MulMont(bm, cm))
+		return l == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMontMulInDomain(b *testing.B) {
+	mo, err := NewMont(MustModulus(7681))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := mo.ToMont(1234)
+	y := mo.ToMont(4321)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = mo.MulMont(x, sink|y)
+	}
+	_ = sink
+}

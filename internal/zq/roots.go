@@ -1,0 +1,114 @@
+package zq
+
+import "fmt"
+
+// factorize returns the distinct prime factors of n (n ≥ 2) by trial
+// division; the group orders handled here are at most 2^31 so this is cheap.
+func factorize(n uint64) []uint64 {
+	var factors []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			factors = append(factors, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	return factors
+}
+
+// FindGenerator returns the smallest generator of the multiplicative group
+// (Z/qZ)*, i.e. an element of order q-1.
+func (m *Modulus) FindGenerator() uint32 {
+	order := uint64(m.Q) - 1
+	factors := factorize(order)
+	for g := uint32(2); g < m.Q; g++ {
+		ok := true
+		for _, p := range factors {
+			if m.Exp(g, order/p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	panic("zq: no generator found (modulus not prime?)")
+}
+
+// RootOfUnity returns a primitive k-th root of unity modulo Q, or an error
+// if k does not divide Q-1. k must be ≥ 1.
+func (m *Modulus) RootOfUnity(k uint64) (uint32, error) {
+	if k == 0 {
+		return 0, fmt.Errorf("zq: root order must be positive")
+	}
+	order := uint64(m.Q) - 1
+	if order%k != 0 {
+		return 0, fmt.Errorf("zq: no %d-th root of unity mod %d (%d ∤ %d)", k, m.Q, k, order)
+	}
+	g := m.FindGenerator()
+	w := m.Exp(g, order/k)
+	// w has order dividing k; since g is a generator it has order exactly k.
+	return w, nil
+}
+
+// NTTRoots returns (ω, ψ) where ω is a primitive n-th root of unity and ψ a
+// primitive 2n-th root with ψ² = ω. These are the twiddle bases of the
+// negative-wrapped NTT. Requires q ≡ 1 (mod 2n).
+func (m *Modulus) NTTRoots(n int) (omega, psi uint32, err error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, 0, fmt.Errorf("zq: ring dimension %d must be a power of two ≥ 2", n)
+	}
+	psi, err = m.RootOfUnity(uint64(2 * n))
+	if err != nil {
+		return 0, 0, err
+	}
+	omega = m.Mul(psi, psi)
+	return omega, psi, nil
+}
+
+// IsPrimitiveRoot reports whether w is a primitive k-th root of unity mod Q.
+func (m *Modulus) IsPrimitiveRoot(w uint32, k uint64) bool {
+	if m.Exp(w, k) != 1 {
+		return false
+	}
+	for _, p := range factorize(k) {
+		if m.Exp(w, k/p) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BitReverse returns the reversal of the low `bits` bits of i.
+func BitReverse(i uint32, bits uint) uint32 {
+	var r uint32
+	for b := uint(0); b < bits; b++ {
+		r = (r << 1) | (i & 1)
+		i >>= 1
+	}
+	return r
+}
+
+// BitReversePermute permutes a in place into bit-reversed index order.
+// len(a) must be a power of two.
+func BitReversePermute(a []uint32) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("zq: BitReversePermute requires power-of-two length")
+	}
+	logN := uint(0)
+	for 1<<logN < n {
+		logN++
+	}
+	for i := 0; i < n; i++ {
+		j := int(BitReverse(uint32(i), logN))
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}

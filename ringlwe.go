@@ -1,0 +1,218 @@
+// Package ringlwe is a pure-Go implementation of the ring-LWE public-key
+// encryption scheme of De Clercq, Roy, Vercauteren and Verbauwhede,
+// "Efficient Software Implementation of Ring-LWE Encryption" (DATE 2015):
+// the LPR cryptosystem over Z_q[x]/(x^n+1) in the NTT-domain formulation,
+// with Knuth-Yao discrete Gaussian sampling accelerated by the paper's
+// lookup tables and a negative-wrapped NTT with packed coefficients.
+//
+// Two parameter sets are provided: P1 (n=256, q=7681, medium-term
+// security) and P2 (n=512, q=12289, long-term security). A plaintext is
+// n/8 bytes (one bit per ring coefficient).
+//
+// Like the underlying LPR scheme, decryption fails with small probability
+// (≈ 0.8% per 32-byte message at P1); the KEM interface (Encapsulate /
+// Decapsulate) carries a confirmation tag so failures are detected and can
+// be retried, which is the recommended way to transport keys.
+//
+//	scheme := ringlwe.New(ringlwe.P1())
+//	pub, priv, err := scheme.GenerateKeys()
+//	ct, err := scheme.Encrypt(pub, msg)
+//	msg, err := scheme.Decrypt(priv, ct)
+//
+// This package is the reproduction of a research artifact: it is suitable
+// for experimentation and benchmarking, not for protecting production
+// traffic (the parameters predate the NIST PQC standardization, and
+// decryption is not constant time).
+package ringlwe
+
+import (
+	"errors"
+	"fmt"
+
+	"ringlwe/internal/core"
+	"ringlwe/internal/rng"
+)
+
+// Params identifies a parameter set. Obtain instances from P1, P2 or
+// Custom; Params are immutable and safe to share.
+type Params struct {
+	inner *core.Params
+}
+
+// P1 returns the paper's medium-term security set (n=256, q=7681,
+// σ=11.31/√2π).
+func P1() *Params { return &Params{inner: core.P1()} }
+
+// P2 returns the paper's long-term security set (n=512, q=12289,
+// σ=12.18/√2π).
+func P2() *Params { return &Params{inner: core.P2()} }
+
+// Custom builds a non-standard parameter set: n must be a power of two
+// multiple of 8, q a prime with q ≡ 1 (mod 2n), and sNum/sDen the Gaussian
+// parameter s = σ√(2π) as a rational. Intended for experiments; the two
+// standard sets should be preferred.
+func Custom(name string, n int, q uint32, sNum, sDen int64) (*Params, error) {
+	p, err := core.NewParams(name, n, q, sNum, sDen, 90)
+	if err != nil {
+		return nil, err
+	}
+	return &Params{inner: p}, nil
+}
+
+// Name returns the parameter set label.
+func (p *Params) Name() string { return p.inner.Name }
+
+// N returns the ring dimension.
+func (p *Params) N() int { return p.inner.N }
+
+// Q returns the coefficient modulus.
+func (p *Params) Q() uint32 { return p.inner.Q }
+
+// Sigma returns the Gaussian standard deviation.
+func (p *Params) Sigma() float64 { return p.inner.Sigma }
+
+// MessageSize returns the plaintext length in bytes.
+func (p *Params) MessageSize() int { return p.inner.MessageBytes() }
+
+// CiphertextSize returns the serialized ciphertext length in bytes.
+func (p *Params) CiphertextSize() int { return 1 + 2*p.inner.PolyBytes() }
+
+// PublicKeySize returns the serialized public key length in bytes.
+func (p *Params) PublicKeySize() int { return 1 + 2*p.inner.PolyBytes() }
+
+// PrivateKeySize returns the serialized private key length in bytes.
+func (p *Params) PrivateKeySize() int { return 1 + p.inner.PolyBytes() }
+
+// FailureRate returns the analytic decryption-failure estimate
+// (per-coefficient, per-message).
+func (p *Params) FailureRate() (perBit, perMessage float64) {
+	return p.inner.EstimateFailureRate()
+}
+
+// PublicKey is a ring-LWE public key (ã, p̃).
+type PublicKey struct {
+	params *Params
+	inner  *core.PublicKey
+}
+
+// PrivateKey is a ring-LWE private key r̃2.
+type PrivateKey struct {
+	params *Params
+	inner  *core.PrivateKey
+}
+
+// Ciphertext is a ring-LWE ciphertext (c̃1, c̃2).
+type Ciphertext struct {
+	params *Params
+	inner  *core.Ciphertext
+}
+
+// Scheme is an encryption context bound to one randomness source. Not safe
+// for concurrent use; create one per goroutine (Params may be shared).
+type Scheme struct {
+	params *Params
+	inner  *core.Scheme
+}
+
+// New returns a Scheme drawing randomness from the operating system CSPRNG
+// (crypto/rand).
+func New(p *Params) *Scheme {
+	s, err := core.New(p.inner, rng.NewCryptoSource())
+	if err != nil {
+		// Construction over validated Params cannot fail.
+		panic("ringlwe: " + err.Error())
+	}
+	return &Scheme{params: p, inner: s}
+}
+
+// NewDeterministic returns a Scheme with a seeded deterministic generator —
+// reproducible, NOT secure. For tests, benchmarks and simulations only.
+func NewDeterministic(p *Params, seed uint64) *Scheme {
+	s, err := core.New(p.inner, rng.NewXorshift128(seed))
+	if err != nil {
+		panic("ringlwe: " + err.Error())
+	}
+	return &Scheme{params: p, inner: s}
+}
+
+// GenerateKeys creates a key pair under a fresh uniform ã.
+func (s *Scheme) GenerateKeys() (*PublicKey, *PrivateKey, error) {
+	pk, sk, err := s.inner.GenerateKeys()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &PublicKey{params: s.params, inner: pk},
+		&PrivateKey{params: s.params, inner: sk}, nil
+}
+
+// Encrypt seals a MessageSize-byte message to pk.
+func (s *Scheme) Encrypt(pk *PublicKey, msg []byte) (*Ciphertext, error) {
+	if pk.params.inner != s.params.inner {
+		return nil, errors.New("ringlwe: public key belongs to a different parameter set")
+	}
+	ct, err := s.inner.Encrypt(pk.inner, msg)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{params: s.params, inner: ct}, nil
+}
+
+// Decrypt opens ct with sk. Note the scheme's intrinsic failure rate; use
+// the KEM interface when transporting keys.
+func (s *Scheme) Decrypt(sk *PrivateKey, ct *Ciphertext) ([]byte, error) {
+	return sk.Decrypt(ct)
+}
+
+// Decrypt opens ct directly with the private key (no Scheme needed:
+// decryption consumes no randomness).
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) ([]byte, error) {
+	if ct.params.inner != sk.params.inner {
+		return nil, errors.New("ringlwe: ciphertext belongs to a different parameter set")
+	}
+	return sk.inner.Decrypt(ct.inner)
+}
+
+// Params returns the key's parameter set.
+func (pk *PublicKey) Params() *Params { return pk.params }
+
+// Params returns the key's parameter set.
+func (sk *PrivateKey) Params() *Params { return sk.params }
+
+// Params returns the ciphertext's parameter set.
+func (ct *Ciphertext) Params() *Params { return ct.params }
+
+// Bytes serializes the public key.
+func (pk *PublicKey) Bytes() []byte { return pk.inner.Bytes() }
+
+// Bytes serializes the private key.
+func (sk *PrivateKey) Bytes() []byte { return sk.inner.Bytes() }
+
+// Bytes serializes the ciphertext.
+func (ct *Ciphertext) Bytes() []byte { return ct.inner.Bytes() }
+
+// ParsePublicKey deserializes a public key under p.
+func ParsePublicKey(p *Params, data []byte) (*PublicKey, error) {
+	pk, err := core.ParsePublicKey(p.inner, data)
+	if err != nil {
+		return nil, fmt.Errorf("ringlwe: %w", err)
+	}
+	return &PublicKey{params: p, inner: pk}, nil
+}
+
+// ParsePrivateKey deserializes a private key under p.
+func ParsePrivateKey(p *Params, data []byte) (*PrivateKey, error) {
+	sk, err := core.ParsePrivateKey(p.inner, data)
+	if err != nil {
+		return nil, fmt.Errorf("ringlwe: %w", err)
+	}
+	return &PrivateKey{params: p, inner: sk}, nil
+}
+
+// ParseCiphertext deserializes a ciphertext under p.
+func ParseCiphertext(p *Params, data []byte) (*Ciphertext, error) {
+	ct, err := core.ParseCiphertext(p.inner, data)
+	if err != nil {
+		return nil, fmt.Errorf("ringlwe: %w", err)
+	}
+	return &Ciphertext{params: p, inner: ct}, nil
+}
