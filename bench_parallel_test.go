@@ -1,0 +1,174 @@
+package ringlwe
+
+// Workspace and batch benchmarks: the systems-layer counterpart of the
+// paper-table benchmarks in bench_test.go. Run with
+//
+//	go test -bench='Parallel|Workspace|Legacy|Batch' -benchmem
+//
+// The legacy one-shot path allocates several polynomials per operation and
+// serializes all callers through one sampler; the workspace path is
+// allocation-free in steady state and scales across cores (the parallel
+// benchmarks are the speedup evidence for the BENCH trajectory).
+
+import (
+	"testing"
+)
+
+func benchWorkspaceEncrypt(b *testing.B, p *Params) {
+	s := NewDeterministic(p, 100)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := s.NewWorkspace()
+	msg := make([]byte, p.MessageSize())
+	ct := NewCiphertext(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.EncryptInto(ct, pk, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkspaceEncrypt_P1(b *testing.B) { benchWorkspaceEncrypt(b, P1()) }
+func BenchmarkWorkspaceEncrypt_P2(b *testing.B) { benchWorkspaceEncrypt(b, P2()) }
+
+func benchLegacyEncrypt(b *testing.B, p *Params) {
+	s := NewDeterministic(p, 100)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, p.MessageSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encrypt(pk, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLegacyEncrypt_P1(b *testing.B) { benchLegacyEncrypt(b, P1()) }
+func BenchmarkLegacyEncrypt_P2(b *testing.B) { benchLegacyEncrypt(b, P2()) }
+
+func BenchmarkWorkspaceDecrypt_P1(b *testing.B) {
+	p := P1()
+	s := NewDeterministic(p, 101)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := s.NewWorkspace()
+	msg := make([]byte, p.MessageSize())
+	ct := NewCiphertext(p)
+	if err := ws.EncryptInto(ct, pk, msg); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, p.MessageSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.DecryptInto(out, sk, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncryptParallel measures aggregate encryption throughput with
+// one workspace per benchmark goroutine on a shared Scheme — the
+// concurrent-traffic shape the workspace refactor exists for.
+func benchEncryptParallel(b *testing.B, p *Params) {
+	s := New(p)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ws := s.NewWorkspace()
+		msg := make([]byte, p.MessageSize())
+		ct := NewCiphertext(p)
+		for pb.Next() {
+			if err := ws.EncryptInto(ct, pk, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEncryptParallel_P1(b *testing.B) { benchEncryptParallel(b, P1()) }
+func BenchmarkEncryptParallel_P2(b *testing.B) { benchEncryptParallel(b, P2()) }
+
+// BenchmarkDecapsulateParallel measures aggregate KEM-server throughput:
+// many goroutines decapsulating against one long-term key, as the protocol
+// layer does per connection.
+func BenchmarkDecapsulateParallel_P1(b *testing.B) {
+	p := P1()
+	s := New(p)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, _, err := s.Encapsulate(pk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Decapsulate(sk, blob); err != nil {
+		b.Skip("seed hit the intrinsic LPR failure; rerun")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ws := s.NewWorkspace()
+		for pb.Next() {
+			if _, err := ws.Decapsulate(sk, blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEncapsulateParallel_P1(b *testing.B) {
+	p := P1()
+	s := New(p)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ws := s.NewWorkspace()
+		for pb.Next() {
+			if _, _, err := ws.Encapsulate(pk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEncryptBatch_P1(b *testing.B) {
+	p := P1()
+	s := New(p)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	msgs := make([][]byte, batch)
+	for i := range msgs {
+		msgs[i] = make([]byte, p.MessageSize())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncryptBatch(pk, msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch), "msgs/batch")
+}

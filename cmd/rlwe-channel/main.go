@@ -1,7 +1,8 @@
 // Command rlwe-channel runs the post-quantum secure channel from the
 // command line: a server that answers with an echo service, and a client
 // that sends lines to it — a minimal netcat-style tool over the ring-LWE
-// KEM handshake.
+// KEM handshake. The server handles connections concurrently; each
+// handshake runs on a pooled per-goroutine workspace of the shared scheme.
 //
 //	rlwe-channel serve   -addr 127.0.0.1:9999 -params P1
 //	rlwe-channel connect -addr 127.0.0.1:9999 -params P1 -msg "hello"
@@ -71,10 +72,14 @@ func serve(addr string, params *ringlwe.Params, once bool) {
 		if err != nil {
 			fatal(err)
 		}
-		handle(conn, scheme, pk, sk)
 		if once {
+			handle(conn, scheme, pk, sk)
 			return
 		}
+		// One goroutine per connection: the handshake borrows a pooled
+		// per-goroutine workspace from the shared scheme, so concurrent
+		// clients neither contend nor race.
+		go handle(conn, scheme, pk, sk)
 	}
 }
 

@@ -1,0 +1,3 @@
+module ringlwe
+
+go 1.24

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch operations: a bounded worker pool drives the zero-allocation
+// workspace paths over many items at once. Workers pull item indices from a
+// shared atomic counter (work stealing, no per-item channel traffic) and
+// each holds one pooled workspace for its whole run, so an N-item batch
+// costs the same workspace setup as max(workers) single calls.
+
+// ParallelFor distributes indices [0, n) over up to `workers` goroutines
+// (workers ≤ 0 means GOMAXPROCS). startWorker runs once per goroutine and
+// returns the per-item function plus a cleanup run when that goroutine
+// drains — the hook each layer uses to acquire and release one pooled
+// workspace per worker. The first per-item error is returned; remaining
+// items still run (errors here are per-item validation failures, not
+// poison). This is the single worker-pool implementation shared by the
+// core and public batch APIs.
+func ParallelFor(n, workers int, startWorker func() (do func(i int) error, done func())) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	runWorker := func() {
+		do, done := startWorker()
+		defer done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := do(i); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}
+	}
+	if workers == 1 {
+		runWorker()
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parallel runs fn over indices [0, n), one pooled workspace per worker.
+func (s *Scheme) parallel(n, workers int, fn func(w *Workspace, i int) error) error {
+	return ParallelFor(n, workers, func() (func(i int) error, func()) {
+		w := s.Acquire()
+		return func(i int) error { return fn(w, i) }, func() { s.Release(w) }
+	})
+}
+
+// EncryptBatch encrypts every message to pk concurrently. workers ≤ 0 uses
+// GOMAXPROCS. Ciphertext i corresponds to msgs[i].
+func (s *Scheme) EncryptBatch(pk *PublicKey, msgs [][]byte, workers int) ([]*Ciphertext, error) {
+	cts := make([]*Ciphertext, len(msgs))
+	err := s.parallel(len(msgs), workers, func(w *Workspace, i int) error {
+		ct := NewCiphertext(s.Params)
+		if err := w.EncryptInto(ct, pk, msgs[i]); err != nil {
+			return err
+		}
+		cts[i] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// DecryptBatch decrypts every ciphertext with sk concurrently. workers ≤ 0
+// uses GOMAXPROCS. Message i corresponds to cts[i].
+func (s *Scheme) DecryptBatch(sk *PrivateKey, cts []*Ciphertext, workers int) ([][]byte, error) {
+	msgs := make([][]byte, len(cts))
+	err := s.parallel(len(cts), workers, func(w *Workspace, i int) error {
+		buf := make([]byte, s.Params.MessageBytes())
+		if err := w.DecryptInto(buf, sk, cts[i]); err != nil {
+			return err
+		}
+		msgs[i] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return msgs, nil
+}

@@ -3,8 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
-	"ringlwe/internal/gauss"
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
 )
@@ -27,82 +28,100 @@ type Ciphertext struct {
 	C1, C2 ntt.Poly
 }
 
-// Scheme is a stateful encryption context: parameters plus a discrete
-// Gaussian sampler and a uniform bit pool bound to one randomness source.
-// Not safe for concurrent use (mirroring the single-core target); create
-// one Scheme per goroutine, sharing the immutable Params.
+// NewCiphertext returns a zero ciphertext with preallocated polynomial
+// buffers, suitable as the destination of Workspace.EncryptInto.
+func NewCiphertext(p *Params) *Ciphertext {
+	return &Ciphertext{Params: p, C1: make(ntt.Poly, p.N), C2: make(ntt.Poly, p.N)}
+}
+
+// aggStats accumulates sampler counters across every workspace of a Scheme.
+type aggStats struct {
+	samples, lut1, lut2, scans atomic.Uint64
+}
+
+// Scheme is an encryption context: the immutable shared state (parameters,
+// NTT tables, sampler tables — all in Params) plus a base randomness source
+// from which per-goroutine Workspaces are forked.
+//
+// The one-shot methods (GenerateKeys, Encrypt, UniformPoly, …) run on an
+// internal default workspace bound directly to the base source, preserving
+// the historical single-threaded behaviour bit for bit; they are NOT safe
+// for concurrent use. For concurrency, create explicit workspaces with
+// NewWorkspace (or borrow pooled ones via Acquire/Release) — those never
+// contend: tables are shared read-only, and each workspace owns its
+// sampler state, bit pools and scratch.
 type Scheme struct {
-	Params  *Params
-	sampler *gauss.Sampler
-	uniform *rng.BitPool
+	Params *Params
+
+	// src is the base randomness source behind a mutex: the one-shot path
+	// draws from it and workspace forking may consume its state, possibly
+	// from different goroutines.
+	src *rng.LockedSource
+
+	// def serves the legacy one-shot API on the unforked base source.
+	def *Workspace
+
+	// pool recycles workspaces for the batch worker pool and Acquire.
+	pool sync.Pool
+
+	// stats aggregates sampler counters flushed by every workspace.
+	stats aggStats
 }
 
 // New builds a Scheme over params drawing all randomness from src.
 func New(params *Params, src rng.Source) (*Scheme, error) {
-	s, err := params.NewSampler(src)
+	s := &Scheme{Params: params, src: rng.NewLockedSource(src)}
+	def, err := newWorkspace(s, s.src)
 	if err != nil {
 		return nil, err
 	}
-	return &Scheme{
-		Params:  params,
-		sampler: s,
-		uniform: rng.NewBitPool(src),
-	}, nil
+	s.def = def
+	s.pool.New = func() any {
+		ws, err := s.NewWorkspace()
+		if err != nil {
+			// Workspace construction over a validated Scheme cannot fail.
+			panic("core: " + err.Error())
+		}
+		return ws
+	}
+	return s, nil
+}
+
+// NewWorkspace forks an independent per-goroutine workspace off the
+// scheme's base randomness source. Safe to call concurrently with any
+// other scheme or workspace operation (the base source is locked); the
+// returned workspace itself is single-goroutine.
+func (s *Scheme) NewWorkspace() (*Workspace, error) {
+	return newWorkspace(s, rng.ForkSource(s.src))
+}
+
+// Acquire borrows a workspace from the scheme's internal pool, forking a
+// new one when the pool is empty. Pair with Release.
+func (s *Scheme) Acquire() *Workspace { return s.pool.Get().(*Workspace) }
+
+// Release returns a workspace obtained from Acquire to the pool. The
+// workspace must not be used afterwards.
+func (s *Scheme) Release(w *Workspace) {
+	if w.scheme == s {
+		s.pool.Put(w)
+	}
 }
 
 // UniformPoly samples a polynomial with independent uniform coefficients in
 // [0, q) by rejection from CoeffBits-bit strings (no modulo bias).
-func (s *Scheme) UniformPoly() ntt.Poly {
-	p := s.Params
-	out := make(ntt.Poly, p.N)
-	bits := p.CoeffBits()
-	for i := range out {
-		for {
-			v := s.uniform.Bits(bits)
-			if v < p.Q {
-				out[i] = v
-				break
-			}
-		}
-	}
-	return out
-}
-
-// errorPoly samples one X_σ error polynomial, coefficients reduced mod q.
-func (s *Scheme) errorPoly() ntt.Poly {
-	p := make(ntt.Poly, s.Params.N)
-	s.sampler.SamplePoly(p, s.Params.Q)
-	return p
-}
+func (s *Scheme) UniformPoly() ntt.Poly { return s.def.UniformPoly() }
 
 // GenerateKeys creates a key pair under a freshly sampled global polynomial
 // ã. The paper's KeyGeneration(ã) flow with ã as a shared system parameter
 // is available via GenerateKeysShared.
 func (s *Scheme) GenerateKeys() (*PublicKey, *PrivateKey, error) {
-	a := s.UniformPoly() // already interpreted in the NTT domain
-	return s.GenerateKeysShared(a)
+	return s.def.GenerateKeys()
 }
 
 // GenerateKeysShared creates a key pair under the given NTT-domain ã:
 // r̃1 = NTT(r1), r̃2 = NTT(r2), p̃ = r̃1 − ã ∘ r̃2.
 func (s *Scheme) GenerateKeysShared(a ntt.Poly) (*PublicKey, *PrivateKey, error) {
-	p := s.Params
-	if len(a) != p.N {
-		return nil, nil, fmt.Errorf("core: ã has %d coefficients, want %d", len(a), p.N)
-	}
-	t := p.Tables
-
-	r1 := s.errorPoly()
-	r2 := s.errorPoly()
-	t.Forward(r1)
-	t.Forward(r2)
-
-	pk := &PublicKey{Params: p, A: append(ntt.Poly(nil), a...), P: make(ntt.Poly, p.N)}
-	t.PointwiseMul(pk.P, pk.A, r2)
-	t.Sub(pk.P, r1, pk.P) // p̃ = r̃1 − ã∘r̃2
-
-	sk := &PrivateKey{Params: p, R2: r2}
-	return pk, sk, nil
+	return s.def.GenerateKeysShared(a)
 }
 
 // Encode maps a message of MessageBytes bytes to the polynomial m̄ whose
@@ -125,44 +144,28 @@ func Encode(p *Params, msg []byte) (ntt.Poly, error) {
 // iff q/4 < c < 3q/4, i.e. iff c is closer to q/2 than to 0 (mod q).
 func Decode(p *Params, m ntt.Poly) []byte {
 	out := make([]byte, p.MessageBytes())
+	DecodeInto(out, p, m)
+	return out
+}
+
+// DecodeInto is Decode writing into a caller-owned MessageBytes buffer.
+func DecodeInto(dst []byte, p *Params, m ntt.Poly) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < p.N; i++ {
 		c := uint64(m[i])
 		if 4*c > uint64(p.Q) && 4*c < 3*uint64(p.Q) {
-			out[i/8] |= 1 << (i % 8)
+			dst[i/8] |= 1 << (i % 8)
 		}
 	}
-	return out
 }
 
 // Encrypt produces (c̃1, c̃2) for a MessageBytes-byte message. It samples
 // three error polynomials and performs three forward NTTs, two pointwise
 // multiplications and three additions — the paper's §II-C operation count.
 func (s *Scheme) Encrypt(pk *PublicKey, msg []byte) (*Ciphertext, error) {
-	p := s.Params
-	if pk.Params != p {
-		return nil, errors.New("core: public key parameter set mismatch")
-	}
-	mbar, err := Encode(p, msg)
-	if err != nil {
-		return nil, err
-	}
-	t := p.Tables
-
-	e1 := s.errorPoly()
-	e2 := s.errorPoly()
-	e3 := s.errorPoly()
-
-	t.Add(e3, e3, mbar) // e3 + m̄ in the normal domain
-	// The three forward transforms of one encryption; the instrumented
-	// Cortex-M4F model fuses these into the paper's parallel NTT.
-	t.ForwardThree(e1, e2, e3)
-
-	ct := &Ciphertext{Params: p, C1: make(ntt.Poly, p.N), C2: make(ntt.Poly, p.N)}
-	t.PointwiseMul(ct.C1, pk.A, e1)
-	t.Add(ct.C1, ct.C1, e2) // c̃1 = ã∘ẽ1 + ẽ2
-	t.PointwiseMul(ct.C2, pk.P, e1)
-	t.Add(ct.C2, ct.C2, e3) // c̃2 = p̃∘ẽ1 + NTT(e3+m̄)
-	return ct, nil
+	return s.def.Encrypt(pk, msg)
 }
 
 // Decrypt recovers the message: decode(INTT(c̃1 ∘ r̃2 + c̃2)). Wrong keys
@@ -191,15 +194,22 @@ func (sk *PrivateKey) DecryptToPoly(ct *Ciphertext) (ntt.Poly, error) {
 	return m, nil
 }
 
-// SamplerStats exposes the scheme's Gaussian sampler counters (for the
-// telemetry example).
+// SamplerStats exposes the scheme's Gaussian sampler counters, aggregated
+// atomically across every workspace (the default one-shot workspace, pooled
+// batch workers and explicit NewWorkspace instances alike). Safe to read
+// concurrently with encrypt traffic.
 func (s *Scheme) SamplerStats() (samples, lut1, lut2, scans uint64) {
-	return s.sampler.Samples, s.sampler.LUT1Hits, s.sampler.LUT2Hits, s.sampler.ScanResolved
+	return s.stats.samples.Load(), s.stats.lut1.Load(),
+		s.stats.lut2.Load(), s.stats.scans.Load()
 }
 
 // UniformRandom16 returns 16 uniform random bits from the scheme's uniform
 // bit pool; higher layers use it for session-key seeds so that one
 // randomness source feeds the whole context.
 func (s *Scheme) UniformRandom16() uint16 {
-	return uint16(s.uniform.Bits(16))
+	return s.def.UniformRandom16()
 }
+
+// FillRandom fills out with uniform random bytes from the scheme's uniform
+// bit pool (the one-shot KEM seed path; workspaces have their own).
+func (s *Scheme) FillRandom(out []byte) { s.def.FillRandom(out) }

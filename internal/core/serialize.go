@@ -38,16 +38,20 @@ func packPoly(dst []byte, p ntt.Poly, width uint) {
 
 func unpackPoly(src []byte, n int, width uint) ntt.Poly {
 	out := make(ntt.Poly, n)
+	unpackPolyInto(out, src, width)
+	return out
+}
+
+func unpackPolyInto(dst ntt.Poly, src []byte, width uint) {
 	bitPos := 0
-	for i := 0; i < n; i++ {
+	for i := range dst {
 		var c uint32
 		for b := uint(0); b < width; b++ {
 			c |= uint32(src[bitPos/8]>>(bitPos%8)&1) << b
 			bitPos++
 		}
-		out[i] = c
+		dst[i] = c
 	}
-	return out
 }
 
 // Bytes serializes the public key as tag ‖ pack(ã) ‖ pack(p̃).
@@ -102,30 +106,57 @@ func ParsePrivateKey(p *Params, data []byte) (*PrivateKey, error) {
 
 // Bytes serializes the ciphertext as tag ‖ pack(c̃1) ‖ pack(c̃2).
 func (ct *Ciphertext) Bytes() []byte {
-	p := ct.Params
-	tag, _ := paramTag(p)
-	out := make([]byte, 1+2*p.PolyBytes())
-	out[0] = tag
-	packPoly(out[1:1+p.PolyBytes()], ct.C1, p.CoeffBits())
-	packPoly(out[1+p.PolyBytes():], ct.C2, p.CoeffBits())
+	out := make([]byte, 1+2*ct.Params.PolyBytes())
+	ct.MarshalInto(out) // freshly sized buffer: cannot fail
 	return out
+}
+
+// MarshalInto serializes the ciphertext into a caller-owned buffer of
+// exactly 1+2·PolyBytes bytes (the KEM workspace path reuses one blob
+// allocation per encapsulation this way).
+func (ct *Ciphertext) MarshalInto(dst []byte) error {
+	p := ct.Params
+	if len(dst) != 1+2*p.PolyBytes() {
+		return fmt.Errorf("core: ciphertext buffer is %d bytes, want %d", len(dst), 1+2*p.PolyBytes())
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	tag, _ := paramTag(p)
+	dst[0] = tag
+	packPoly(dst[1:1+p.PolyBytes()], ct.C1, p.CoeffBits())
+	packPoly(dst[1+p.PolyBytes():], ct.C2, p.CoeffBits())
+	return nil
 }
 
 // ParseCiphertext reverses Ciphertext.Bytes under the given parameters.
 func ParseCiphertext(p *Params, data []byte) (*Ciphertext, error) {
-	if err := checkBlob(p, data, 2); err != nil {
-		return nil, fmt.Errorf("core: ciphertext: %w", err)
-	}
-	pb := p.PolyBytes()
-	ct := &Ciphertext{
-		Params: p,
-		C1:     unpackPoly(data[1:1+pb], p.N, p.CoeffBits()),
-		C2:     unpackPoly(data[1+pb:], p.N, p.CoeffBits()),
-	}
-	if err := checkRange(p, ct.C1, ct.C2); err != nil {
-		return nil, fmt.Errorf("core: ciphertext: %w", err)
+	ct := NewCiphertext(p)
+	if err := ParseCiphertextInto(ct, data); err != nil {
+		return nil, err
 	}
 	return ct, nil
+}
+
+// ParseCiphertextInto deserializes data into a preallocated ciphertext
+// (see NewCiphertext), allocating nothing. On error the ciphertext's
+// contents are unspecified.
+func ParseCiphertextInto(ct *Ciphertext, data []byte) error {
+	p := ct.Params
+	if len(ct.C1) != p.N || len(ct.C2) != p.N {
+		return fmt.Errorf("core: ciphertext: buffers hold %d/%d coefficients, want %d (use NewCiphertext)",
+			len(ct.C1), len(ct.C2), p.N)
+	}
+	if err := checkBlob(p, data, 2); err != nil {
+		return fmt.Errorf("core: ciphertext: %w", err)
+	}
+	pb := p.PolyBytes()
+	unpackPolyInto(ct.C1, data[1:1+pb], p.CoeffBits())
+	unpackPolyInto(ct.C2, data[1+pb:], p.CoeffBits())
+	if err := checkRange(p, ct.C1, ct.C2); err != nil {
+		return fmt.Errorf("core: ciphertext: %w", err)
+	}
+	return nil
 }
 
 func checkBlob(p *Params, data []byte, polys int) error {

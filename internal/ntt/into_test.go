@@ -1,0 +1,122 @@
+package ntt
+
+import (
+	"testing"
+
+	"ringlwe/internal/zq"
+)
+
+func intoTables(t *testing.T) *Tables {
+	t.Helper()
+	m, err := zq.NewModulus(7681)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTables(m, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func rampPoly(t *Tables, mul, add uint32) Poly {
+	p := make(Poly, t.N)
+	for i := range p {
+		p[i] = (uint32(i)*mul + add) % uint32(t.M.Q)
+	}
+	return p
+}
+
+func TestForwardIntoMatchesForward(t *testing.T) {
+	tb := intoTables(t)
+	src := rampPoly(tb, 7, 3)
+	orig := append(Poly(nil), src...)
+
+	dst := make(Poly, tb.N)
+	tb.ForwardInto(dst, src)
+
+	inPlace := append(Poly(nil), src...)
+	tb.Forward(inPlace)
+
+	for i := range dst {
+		if dst[i] != inPlace[i] {
+			t.Fatalf("ForwardInto[%d] = %d, Forward = %d", i, dst[i], inPlace[i])
+		}
+		if src[i] != orig[i] {
+			t.Fatalf("ForwardInto modified src[%d]", i)
+		}
+	}
+}
+
+func TestInverseIntoRoundTrip(t *testing.T) {
+	tb := intoTables(t)
+	src := rampPoly(tb, 11, 1)
+	spec := make(Poly, tb.N)
+	tb.ForwardInto(spec, src)
+	back := make(Poly, tb.N)
+	tb.InverseInto(back, spec)
+	for i := range back {
+		if back[i] != src[i] {
+			t.Fatalf("round trip differs at %d: %d vs %d", i, back[i], src[i])
+		}
+	}
+}
+
+func TestMulIntoMatchesNaive(t *testing.T) {
+	tb := intoTables(t)
+	a := rampPoly(tb, 13, 5)
+	b := rampPoly(tb, 17, 9)
+	aCopy := append(Poly(nil), a...)
+	bCopy := append(Poly(nil), b...)
+
+	want := tb.Naive(a, b)
+	dst := make(Poly, tb.N)
+	scratch := make(Poly, tb.N)
+	tb.MulInto(dst, a, b, scratch)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("MulInto[%d] = %d, naive = %d", i, dst[i], want[i])
+		}
+		if a[i] != aCopy[i] || b[i] != bCopy[i] {
+			t.Fatalf("MulInto modified an input at %d", i)
+		}
+	}
+}
+
+func TestMulIntoAliasing(t *testing.T) {
+	tb := intoTables(t)
+	a := rampPoly(tb, 3, 2)
+	b := rampPoly(tb, 5, 4)
+	want := tb.Naive(a, b)
+	scratch := make(Poly, tb.N)
+
+	// dst aliases a.
+	dstA := append(Poly(nil), a...)
+	tb.MulInto(dstA, dstA, b, scratch)
+	// dst aliases b.
+	dstB := append(Poly(nil), b...)
+	tb.MulInto(dstB, a, dstB, scratch)
+	for i := range want {
+		if dstA[i] != want[i] {
+			t.Fatalf("dst==a aliasing wrong at %d", i)
+		}
+		if dstB[i] != want[i] {
+			t.Fatalf("dst==b aliasing wrong at %d", i)
+		}
+	}
+}
+
+func TestIntoVariantsAllocationFree(t *testing.T) {
+	tb := intoTables(t)
+	src := rampPoly(tb, 7, 1)
+	dst := make(Poly, tb.N)
+	scratch := make(Poly, tb.N)
+	b := rampPoly(tb, 9, 2)
+	if n := testing.AllocsPerRun(20, func() {
+		tb.ForwardInto(dst, src)
+		tb.InverseInto(dst, dst)
+		tb.MulInto(dst, src, b, scratch)
+	}); n != 0 {
+		t.Fatalf("into-variants allocate %v times per run, want 0", n)
+	}
+}

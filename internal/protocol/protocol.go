@@ -15,6 +15,11 @@
 // Both sides then derive direction-separated AES-128-CTR + HMAC-SHA256
 // keys from the shared secret and exchange length-prefixed sealed records
 // with monotonic sequence numbers (replay and reorder detection).
+//
+// Handshakes borrow a pooled per-goroutine workspace from the shared
+// Scheme for all KEM work, so any number of connections may handshake
+// concurrently against one Scheme and one long-term key pair without
+// contention or per-message garbage.
 package protocol
 
 import (
@@ -56,7 +61,8 @@ type Channel struct {
 }
 
 // Client performs the initiator side of the handshake: receives the
-// server's public key, encapsulates, and derives record keys.
+// server's public key, encapsulates, and derives record keys. Safe to run
+// concurrently with other handshakes on the same Scheme.
 func Client(rw io.ReadWriter, scheme *ringlwe.Scheme, params *ringlwe.Params) (*Channel, error) {
 	var hello [4]byte
 	binary.BigEndian.PutUint16(hello[:2], helloMagic)
@@ -75,7 +81,12 @@ func Client(rw io.ReadWriter, scheme *ringlwe.Scheme, params *ringlwe.Params) (*
 	}
 
 	for attempt := 0; attempt <= maxRetries; attempt++ {
-		blob, key, err := scheme.Encapsulate(pk)
+		// Borrow a pooled workspace only for the KEM computation, not
+		// across the network round-trip, so stalled peers don't pin
+		// workspaces.
+		ws := scheme.AcquireWorkspace()
+		blob, key, err := ws.Encapsulate(pk)
+		scheme.ReleaseWorkspace(ws)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: encapsulate: %w", err)
 		}
@@ -100,7 +111,9 @@ func Client(rw io.ReadWriter, scheme *ringlwe.Scheme, params *ringlwe.Params) (*
 	return nil, errors.New("protocol: too many decapsulation retries")
 }
 
-// Server performs the responder side using its long-term key pair.
+// Server performs the responder side using its long-term key pair. Safe to
+// run concurrently with other handshakes on the same Scheme and key pair —
+// one listener goroutine per connection is the intended deployment.
 func Server(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ringlwe.PrivateKey) (*Channel, error) {
 	params := pk.Params()
 	var hello [4]byte
@@ -123,7 +136,12 @@ func Server(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk 
 		if _, err := io.ReadFull(rw, blob); err != nil {
 			return nil, fmt.Errorf("protocol: reading encapsulation: %w", err)
 		}
-		key, err := scheme.Decapsulate(sk, ringlwe.EncapsulatedKey(blob))
+		// Borrow a pooled workspace only for the decapsulation itself —
+		// never across the blocking read — so the pool grows with
+		// concurrent KEM computations, not with stalled connections.
+		ws := scheme.AcquireWorkspace()
+		key, err := ws.Decapsulate(sk, ringlwe.EncapsulatedKey(blob))
+		scheme.ReleaseWorkspace(ws)
 		if errors.Is(err, ringlwe.ErrDecapsulation) {
 			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
 				return nil, fmt.Errorf("protocol: sending retry: %w", werr)

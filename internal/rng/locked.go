@@ -1,0 +1,37 @@
+package rng
+
+import "sync"
+
+// LockedSource serializes access to an underlying Source. A Scheme wraps
+// its base source in one so that the legacy one-shot path (which draws
+// from the base source directly) and workspace forking (which may consume
+// base-source state, e.g. Xorshift128.Fork) can run from different
+// goroutines without racing on PRNG state. Forked children are exclusively
+// owned by their workspace and stay lock-free.
+type LockedSource struct {
+	mu  sync.Mutex
+	src Source
+}
+
+// NewLockedSource wraps src with a mutex. The output sequence is that of
+// src, unchanged.
+func NewLockedSource(src Source) *LockedSource {
+	return &LockedSource{src: src}
+}
+
+// Uint32 returns the next word of the underlying source.
+func (l *LockedSource) Uint32() uint32 {
+	l.mu.Lock()
+	v := l.src.Uint32()
+	l.mu.Unlock()
+	return v
+}
+
+// Fork derives a child from the underlying source under the lock, so
+// forking is safe against concurrent draws.
+func (l *LockedSource) Fork() Source {
+	l.mu.Lock()
+	child := ForkSource(l.src)
+	l.mu.Unlock()
+	return child
+}

@@ -93,17 +93,9 @@ func (s *Scheme) Decapsulate(sk *PrivateKey, blob EncapsulatedKey) ([SharedKeySi
 }
 
 // fillRandom draws bytes from the scheme's randomness source via the
-// uniform pool (16 bits at a time).
-func (s *Scheme) fillRandom(out []byte) {
-	for i := 0; i+1 < len(out); i += 2 {
-		v := s.inner.UniformRandom16()
-		out[i] = byte(v)
-		out[i+1] = byte(v >> 8)
-	}
-	if len(out)%2 == 1 {
-		out[len(out)-1] = byte(s.inner.UniformRandom16())
-	}
-}
+// uniform pool (16 bits at a time; the byte layout lives in
+// core.Workspace.FillRandom, shared with the workspace KEM path).
+func (s *Scheme) fillRandom(out []byte) { s.inner.FillRandom(out) }
 
 // EncapsulationSize returns the wire size of an encapsulation blob.
 func (p *Params) EncapsulationSize() int { return p.CiphertextSize() + confirmTagSize }

@@ -28,6 +28,7 @@ package ringlwe
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ringlwe/internal/core"
 	"ringlwe/internal/rng"
@@ -107,11 +108,24 @@ type Ciphertext struct {
 	inner  *core.Ciphertext
 }
 
-// Scheme is an encryption context bound to one randomness source. Not safe
-// for concurrent use; create one per goroutine (Params may be shared).
+// NewCiphertext returns a zero ciphertext with preallocated buffers, the
+// reusable destination for Workspace.EncryptInto.
+func NewCiphertext(p *Params) *Ciphertext {
+	return &Ciphertext{params: p, inner: core.NewCiphertext(p.inner)}
+}
+
+// Scheme is an encryption context bound to one randomness source. The
+// one-shot methods (GenerateKeys, Encrypt, Encapsulate, …) run on an
+// internal workspace and are NOT safe for concurrent use — they preserve
+// the deterministic single-stream behaviour the known-answer tests pin.
+// For concurrent traffic, give each goroutine its own Workspace (see
+// NewWorkspace and AcquireWorkspace) or use the batch methods
+// (EncryptBatch, EncapsulateBatch, …), which drive a bounded worker pool
+// of pooled workspaces internally. Params may always be shared.
 type Scheme struct {
 	params *Params
 	inner  *core.Scheme
+	pool   sync.Pool // *Workspace, backing AcquireWorkspace
 }
 
 // New returns a Scheme drawing randomness from the operating system CSPRNG
@@ -122,17 +136,32 @@ func New(p *Params) *Scheme {
 		// Construction over validated Params cannot fail.
 		panic("ringlwe: " + err.Error())
 	}
-	return &Scheme{params: p, inner: s}
+	return newScheme(p, s)
 }
 
 // NewDeterministic returns a Scheme with a seeded deterministic generator —
 // reproducible, NOT secure. For tests, benchmarks and simulations only.
+// Workspaces forked from a deterministic Scheme are themselves
+// deterministic (fork order matters, per-workspace streams do not race).
 func NewDeterministic(p *Params, seed uint64) *Scheme {
 	s, err := core.New(p.inner, rng.NewXorshift128(seed))
 	if err != nil {
 		panic("ringlwe: " + err.Error())
 	}
-	return &Scheme{params: p, inner: s}
+	return newScheme(p, s)
+}
+
+func newScheme(p *Params, inner *core.Scheme) *Scheme {
+	s := &Scheme{params: p, inner: inner}
+	s.pool.New = func() any { return s.NewWorkspace() }
+	return s
+}
+
+// SamplerStats exposes the scheme's Gaussian-sampler counters, aggregated
+// atomically across every workspace (one-shot, pooled and explicit alike).
+// Safe to read concurrently with encrypt traffic.
+func (s *Scheme) SamplerStats() (samples, lut1, lut2, scans uint64) {
+	return s.inner.SamplerStats()
 }
 
 // GenerateKeys creates a key pair under a fresh uniform ã.
