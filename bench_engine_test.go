@@ -1,0 +1,73 @@
+package ringlwe
+
+// End-to-end engine comparison: the same encrypt/decrypt workload run
+// through each registered NTT backend. The per-transform margins are
+// measured in internal/ntt (BenchmarkForward/BenchmarkInverse); these
+// benchmarks show how much of that margin survives once sampling,
+// encoding and pointwise arithmetic are added — the number a deployment
+// actually feels.
+
+import "testing"
+
+func benchEncryptEngine(b *testing.B, p *Params, engine string) {
+	s := NewDeterministic(p, 2024, WithEngine(engine))
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := s.NewWorkspace()
+	ct := NewCiphertext(p)
+	msg := make([]byte, p.MessageSize())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.EncryptInto(ct, pk, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecryptEngine(b *testing.B, p *Params, engine string) {
+	s := NewDeterministic(p, 2024, WithEngine(engine))
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := s.NewWorkspace()
+	ct := NewCiphertext(p)
+	msg := make([]byte, p.MessageSize())
+	if err := ws.EncryptInto(ct, pk, msg); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, p.MessageSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.DecryptInto(dst, sk, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptEngine(b *testing.B) {
+	for _, p := range []*Params{P1(), P2()} {
+		for _, engine := range Engines() {
+			b.Run(p.Name()+"/"+engine, func(b *testing.B) {
+				benchEncryptEngine(b, p, engine)
+			})
+		}
+	}
+}
+
+func BenchmarkDecryptEngine(b *testing.B) {
+	for _, p := range []*Params{P1(), P2()} {
+		for _, engine := range Engines() {
+			b.Run(p.Name()+"/"+engine, func(b *testing.B) {
+				benchDecryptEngine(b, p, engine)
+			})
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command rlwe-benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark runs (BENCH_N.json artifacts) and
+// the performance trajectory across PRs stays machine-diffable.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'NTT|Encrypt' -benchmem ./... | rlwe-benchjson > BENCH.json
+//	rlwe-benchjson -in bench.txt -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its name (with the -GOMAXPROCS suffix
+// stripped), iteration count, and every reported metric keyed by unit
+// (ns/op, B/op, allocs/op, plus custom ReportMetric units like m4cyc).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived JSON shape.
+type Document struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// parse extracts benchmark results from go test output, ignoring every
+// non-benchmark line (pass/fail markers, package headers, metrics noise).
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[f[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
+		os.Exit(1)
+	}
+	doc := Document{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -53,6 +53,11 @@ type aggStats struct {
 type Scheme struct {
 	Params *Params
 
+	// eng is the NTT backend every transform of this scheme runs through.
+	// All registered engines produce bit-identical results (the KATs hold
+	// under any of them); they differ in speed and allocation behaviour.
+	eng ntt.Engine
+
 	// src is the base randomness source behind a mutex: the one-shot path
 	// draws from it and workspace forking may consume its state, possibly
 	// from different goroutines.
@@ -68,9 +73,22 @@ type Scheme struct {
 	stats aggStats
 }
 
-// New builds a Scheme over params drawing all randomness from src.
+// New builds a Scheme over params drawing all randomness from src, running
+// every transform through the default NTT engine (ntt.DefaultEngine, the
+// fastest differentially verified backend).
 func New(params *Params, src rng.Source) (*Scheme, error) {
-	s := &Scheme{Params: params, src: rng.NewLockedSource(src)}
+	return NewWithEngine(params, src, ntt.DefaultEngine)
+}
+
+// NewWithEngine is New with an explicit NTT backend selected by registry
+// name (see ntt.EngineNames). Engine choice never changes results — only
+// how fast they are computed.
+func NewWithEngine(params *Params, src rng.Source, engine string) (*Scheme, error) {
+	eng, err := ntt.NewEngine(engine, params.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &Scheme{Params: params, eng: eng, src: rng.NewLockedSource(src)}
 	def, err := newWorkspace(s, s.src)
 	if err != nil {
 		return nil, err
@@ -86,6 +104,9 @@ func New(params *Params, src rng.Source) (*Scheme, error) {
 	}
 	return s, nil
 }
+
+// Engine returns the registry name of the NTT backend this scheme runs on.
+func (s *Scheme) Engine() string { return s.eng.Name() }
 
 // NewWorkspace forks an independent per-goroutine workspace off the
 // scheme's base randomness source. Safe to call concurrently with any

@@ -133,16 +133,17 @@ func (w *Workspace) GenerateKeysShared(a ntt.Poly) (*PublicKey, *PrivateKey, err
 		return nil, nil, fmt.Errorf("core: ã has %d coefficients, want %d", len(a), p.N)
 	}
 	t := p.Tables
+	eng := w.scheme.eng
 
 	r1 := w.e1 // scratch: consumed by the p̃ computation below
 	w.errorPolyInto(r1)
 	r2 := make(ntt.Poly, p.N) // retained as the private key
 	w.errorPolyInto(r2)
-	t.Forward(r1)
-	t.Forward(r2)
+	eng.Forward(r1)
+	eng.Forward(r2)
 
 	pk := &PublicKey{Params: p, A: append(ntt.Poly(nil), a...), P: make(ntt.Poly, p.N)}
-	t.PointwiseMul(pk.P, pk.A, r2)
+	eng.PointwiseMul(pk.P, pk.A, r2)
 	t.Sub(pk.P, r1, pk.P) // p̃ = r̃1 − ã∘r̃2
 
 	sk := &PrivateKey{Params: p, R2: r2}
@@ -179,18 +180,20 @@ func (w *Workspace) EncryptInto(ct *Ciphertext, pk *PublicKey, msg []byte) error
 		return fmt.Errorf("core: message is %d bytes, want %d", len(msg), p.MessageBytes())
 	}
 	t := p.Tables
+	eng := w.scheme.eng
 
 	w.errorPolyInto(w.e1)
 	w.errorPolyInto(w.e2)
 	w.errorPolyInto(w.e3)
 	addEncoded(p, w.e3, msg) // e3 + m̄ in the normal domain
-	// The three forward transforms of one encryption; the instrumented
-	// Cortex-M4F model fuses these into the paper's parallel NTT.
-	t.ForwardThree(w.e1, w.e2, w.e3)
+	// The three forward transforms of one encryption, fused exactly as the
+	// paper's parallel NTT (and the instrumented Cortex-M4F model) fuses
+	// them — each engine supplies its own fused variant.
+	eng.ForwardThree(w.e1, w.e2, w.e3)
 
-	t.PointwiseMul(ct.C1, pk.A, w.e1)
+	eng.PointwiseMul(ct.C1, pk.A, w.e1)
 	t.Add(ct.C1, ct.C1, w.e2) // c̃1 = ã∘ẽ1 + ẽ2
-	t.PointwiseMul(ct.C2, pk.P, w.e1)
+	eng.PointwiseMul(ct.C2, pk.P, w.e1)
 	t.Add(ct.C2, ct.C2, w.e3) // c̃2 = p̃∘ẽ1 + NTT(e3+m̄)
 	w.flushStats()
 	return nil
@@ -221,10 +224,11 @@ func (w *Workspace) DecryptInto(dst []byte, sk *PrivateKey, ct *Ciphertext) erro
 		return fmt.Errorf("core: message buffer is %d bytes, want %d", len(dst), p.MessageBytes())
 	}
 	t := p.Tables
+	eng := w.scheme.eng
 	m := w.e1
-	t.PointwiseMul(m, ct.C1, sk.R2)
+	eng.PointwiseMul(m, ct.C1, sk.R2)
 	t.Add(m, m, ct.C2)
-	t.Inverse(m)
+	eng.Inverse(m)
 	DecodeInto(dst, p, m)
 	return nil
 }

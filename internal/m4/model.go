@@ -156,6 +156,17 @@ func (m *Machine) ChargeAddRed() { m.ALU(3) }
 // 3 cycles.
 func (m *Machine) ChargeSubRed() { m.ALU(3) }
 
+// ChargeMulShoup charges one Shoup modular multiplication by a precomputed
+// constant with resident companion: UMULL for the high-word quotient
+// estimate, MUL for the low product, MLS folding the t·q subtraction —
+// 3 single-cycle multiplies, no conditional, lazy result in [0, 2q). This
+// is the butterfly's replacement for the 7-cycle Barrett ChargeMulRed.
+func (m *Machine) ChargeMulShoup() { m.Mul(3) }
+
+// ChargeLazyFold charges one conditional subtraction holding a lazy value
+// under its bound (CMP + IT-folded SUB): 2 cycles.
+func (m *Machine) ChargeLazyFold() { m.ALU(2) }
+
 // ChargeUnpack charges splitting a 32-bit word into two halfword
 // coefficients (UXTH + LSR): 2 cycles.
 func (m *Machine) ChargeUnpack() { m.ALU(2) }

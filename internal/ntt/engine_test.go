@@ -1,0 +1,271 @@
+package ntt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ringlwe/internal/zq"
+)
+
+// engineTestSets mirrors the paper's parameter sets.
+var engineTestSets = []struct {
+	q uint32
+	n int
+}{
+	{7681, 256},
+	{12289, 512},
+}
+
+func engineTables(t *testing.T, q uint32, n int) *Tables {
+	t.Helper()
+	m, err := zq.NewModulus(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewTables(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// Every registered engine must be registered, constructible over the paper
+// tables, and report its own name.
+func TestEngineRegistry(t *testing.T) {
+	names := EngineNames()
+	for _, want := range []string{"barrett", "packed", "shoup"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("engine %q not registered (have %v)", want, names)
+		}
+	}
+	tab := engineTables(t, 7681, 256)
+	for _, name := range names {
+		e, err := NewEngine(name, tab)
+		if err != nil {
+			t.Fatalf("NewEngine(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("engine %q reports name %q", name, e.Name())
+		}
+		if e.Tables() != tab {
+			t.Fatalf("engine %q does not expose its tables", name)
+		}
+	}
+	if _, err := NewEngine("no-such-engine", tab); err == nil {
+		t.Fatal("NewEngine accepted an unknown name")
+	}
+	if DefaultEngine != "shoup" {
+		t.Fatalf("DefaultEngine = %q, want the fastest verified backend", DefaultEngine)
+	}
+}
+
+// Differential cross-check: every registered engine computes bit-identical
+// canonical results to the Barrett reference on every Engine operation.
+func TestEnginesMatchBarrett(t *testing.T) {
+	for _, set := range engineTestSets {
+		tab := engineTables(t, set.q, set.n)
+		oracle, err := NewEngine("barrett", tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(set.q)))
+		for _, name := range EngineNames() {
+			eng, err := NewEngine(name, tab)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for trial := 0; trial < 8; trial++ {
+				a, b, c := randPoly(r, tab), randPoly(r, tab), randPoly(r, tab)
+
+				// Forward / Inverse round into each other and match the oracle.
+				gotF := append(Poly(nil), a...)
+				wantF := append(Poly(nil), a...)
+				eng.Forward(gotF)
+				oracle.Forward(wantF)
+				if !reflect.DeepEqual(gotF, wantF) {
+					t.Fatalf("%s q=%d: Forward mismatch", name, set.q)
+				}
+				gotI := append(Poly(nil), gotF...)
+				wantI := append(Poly(nil), wantF...)
+				eng.Inverse(gotI)
+				oracle.Inverse(wantI)
+				if !reflect.DeepEqual(gotI, wantI) || !reflect.DeepEqual(gotI, a) {
+					t.Fatalf("%s q=%d: Inverse mismatch", name, set.q)
+				}
+
+				// ForwardThree is three Forwards.
+				ga, gb, gc := append(Poly(nil), a...), append(Poly(nil), b...), append(Poly(nil), c...)
+				eng.ForwardThree(ga, gb, gc)
+				for i, pair := range [][2]Poly{{ga, a}, {gb, b}, {gc, c}} {
+					want := append(Poly(nil), pair[1]...)
+					oracle.Forward(want)
+					if !reflect.DeepEqual(pair[0], want) {
+						t.Fatalf("%s q=%d: ForwardThree poly %d mismatch", name, set.q, i)
+					}
+				}
+
+				// Pointwise ops.
+				gotP, wantP := tab.NewPoly(), tab.NewPoly()
+				eng.PointwiseMul(gotP, a, b)
+				oracle.PointwiseMul(wantP, a, b)
+				if !reflect.DeepEqual(gotP, wantP) {
+					t.Fatalf("%s q=%d: PointwiseMul mismatch", name, set.q)
+				}
+				gotAcc := append(Poly(nil), c...)
+				wantAcc := append(Poly(nil), c...)
+				eng.PointwiseMulAdd(gotAcc, a, b)
+				oracle.PointwiseMulAdd(wantAcc, a, b)
+				if !reflect.DeepEqual(gotAcc, wantAcc) {
+					t.Fatalf("%s q=%d: PointwiseMulAdd mismatch", name, set.q)
+				}
+
+				// Full multiplication pipeline vs the schoolbook oracle.
+				dst, scratch := tab.NewPoly(), tab.NewPoly()
+				eng.MulInto(dst, a, b, scratch)
+				if naive := tab.Naive(a, b); !reflect.DeepEqual(dst, naive) {
+					t.Fatalf("%s q=%d: MulInto disagrees with Naive", name, set.q)
+				}
+
+				// Into-variants leave sources untouched and match in-place.
+				srcCopy := append(Poly(nil), a...)
+				into := tab.NewPoly()
+				eng.ForwardInto(into, a)
+				if !reflect.DeepEqual(a, srcCopy) {
+					t.Fatalf("%s q=%d: ForwardInto modified src", name, set.q)
+				}
+				if !reflect.DeepEqual(into, wantF) {
+					t.Fatalf("%s q=%d: ForwardInto mismatch", name, set.q)
+				}
+				eng.InverseInto(into, into)
+				if !reflect.DeepEqual(into, a) {
+					t.Fatalf("%s q=%d: InverseInto round trip failed", name, set.q)
+				}
+			}
+		}
+	}
+}
+
+// Add and Sub must reject short inputs like every other Tables operation
+// instead of silently truncating.
+func TestAddSubLengthPanics(t *testing.T) {
+	tab := engineTables(t, 7681, 256)
+	full := tab.NewPoly()
+	short := make(Poly, tab.N-1)
+	for _, tc := range []struct {
+		name string
+		op   func()
+	}{
+		{"Add short a", func() { tab.Add(full, short, full) }},
+		{"Add short b", func() { tab.Add(full, full, short) }},
+		{"Add short c", func() { tab.Add(short, full, full) }},
+		{"Sub short a", func() { tab.Sub(full, short, full) }},
+		{"Sub short b", func() { tab.Sub(full, full, short) }},
+		{"Sub short c", func() { tab.Sub(short, full, full) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.op()
+		}()
+	}
+}
+
+// Engine outputs must be canonical residues — the lazy domain must never
+// leak across the Engine interface.
+func TestEngineOutputsCanonical(t *testing.T) {
+	for _, set := range engineTestSets {
+		tab := engineTables(t, set.q, set.n)
+		r := rand.New(rand.NewSource(99))
+		for _, name := range EngineNames() {
+			eng, err := NewEngine(name, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := randPoly(r, tab)
+			eng.Forward(a)
+			for i, v := range a {
+				if v >= set.q {
+					t.Fatalf("%s q=%d: Forward output[%d] = %d not canonical", name, set.q, i, v)
+				}
+			}
+			eng.Inverse(a)
+			for i, v := range a {
+				if v >= set.q {
+					t.Fatalf("%s q=%d: Inverse output[%d] = %d not canonical", name, set.q, i, v)
+				}
+			}
+		}
+	}
+}
+
+func benchEngineForward(b *testing.B, name string, q uint32, n int) {
+	m, _ := zq.NewModulus(q)
+	tab, _ := NewTables(m, n)
+	eng, err := NewEngine(name, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	a := randPoly(r, tab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Forward(a)
+	}
+}
+
+func benchEngineInverse(b *testing.B, name string, q uint32, n int) {
+	m, _ := zq.NewModulus(q)
+	tab, _ := NewTables(m, n)
+	eng, err := NewEngine(name, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	a := randPoly(r, tab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Inverse(a)
+	}
+}
+
+// BenchmarkForward compares the registered engines on the forward
+// transform; the Shoup backend's margin over barrett is the refactor's
+// headline number (see README "Choosing an NTT engine").
+func BenchmarkForward(b *testing.B) {
+	for _, set := range engineTestSets {
+		for _, name := range EngineNames() {
+			label := "P1"
+			if set.n == 512 {
+				label = "P2"
+			}
+			b.Run(label+"/"+name, func(b *testing.B) {
+				benchEngineForward(b, name, set.q, set.n)
+			})
+		}
+	}
+}
+
+// BenchmarkInverse is BenchmarkForward for the inverse transform.
+func BenchmarkInverse(b *testing.B) {
+	for _, set := range engineTestSets {
+		for _, name := range EngineNames() {
+			label := "P1"
+			if set.n == 512 {
+				label = "P2"
+			}
+			b.Run(label+"/"+name, func(b *testing.B) {
+				benchEngineInverse(b, name, set.q, set.n)
+			})
+		}
+	}
+}

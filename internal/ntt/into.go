@@ -6,35 +6,29 @@ package ntt
 // in-place Forward/Inverse/ForwardThree and the pointwise ops already write
 // into their arguments; these cover the remaining out-of-place cases.
 
-// Copy sets dst = src. Both must have the tables' dimension.
-func (t *Tables) Copy(dst, src Poly) {
+// prepInto validates both lengths and copies src into dst (skipped when
+// they alias), readying dst for an in-place transform. Shared by every
+// Into-variant across the Tables methods and the engine backends.
+func prepInto(t *Tables, dst, src Poly, what string) {
 	if len(dst) != t.N || len(src) != t.N {
-		panic("ntt: Copy length mismatch")
+		panic("ntt: " + what + " length mismatch")
 	}
-	copy(dst, src)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
 }
 
 // ForwardInto sets dst = NTT(src) without modifying src. dst and src may
 // alias (then it degenerates to the in-place Forward).
 func (t *Tables) ForwardInto(dst, src Poly) {
-	if len(dst) != t.N || len(src) != t.N {
-		panic("ntt: ForwardInto length mismatch")
-	}
-	if &dst[0] != &src[0] {
-		copy(dst, src)
-	}
+	prepInto(t, dst, src, "ForwardInto")
 	t.Forward(dst)
 }
 
 // InverseInto sets dst = INTT(src) without modifying src. dst and src may
 // alias.
 func (t *Tables) InverseInto(dst, src Poly) {
-	if len(dst) != t.N || len(src) != t.N {
-		panic("ntt: InverseInto length mismatch")
-	}
-	if &dst[0] != &src[0] {
-		copy(dst, src)
-	}
+	prepInto(t, dst, src, "InverseInto")
 	t.Inverse(dst)
 }
 

@@ -223,6 +223,9 @@ func (t *Tables) PointwiseMulAdd(acc, a, b Poly) {
 
 // Add sets c = a + b.
 func (t *Tables) Add(c, a, b Poly) {
+	if len(a) != t.N || len(b) != t.N || len(c) != t.N {
+		panic("ntt: Add length mismatch")
+	}
 	for i := range c {
 		c[i] = t.M.Add(a[i], b[i])
 	}
@@ -230,6 +233,9 @@ func (t *Tables) Add(c, a, b Poly) {
 
 // Sub sets c = a - b.
 func (t *Tables) Sub(c, a, b Poly) {
+	if len(a) != t.N || len(b) != t.N || len(c) != t.N {
+		panic("ntt: Sub length mismatch")
+	}
 	for i := range c {
 		c[i] = t.M.Sub(a[i], b[i])
 	}

@@ -544,6 +544,40 @@ func Extensions() *Table {
 		"ciphertext 833 B + 16 B confirmation tag",
 		"849 B; failures detected and retried",
 	})
+
+	// Per-butterfly operation counts of the pluggable NTT engines on the
+	// M4 price list: the Shoup kernel trades the 7-cycle Barrett chain for
+	// a 3-cycle multiply sequence plus two lazy folds.
+	for _, c := range m4.ButterflyCosts() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("Butterfly cost, %s engine", c.Engine),
+			"arith + mem/loop per butterfly",
+			fmt.Sprintf("%d + %d = %d cycles", c.Arith, c.Overhead, c.Total),
+		})
+	}
+
+	// Whole-transform modeled cycles for the new kernel vs the scalar
+	// Barrett baseline (P1 forward NTT).
+	{
+		tab := p.Tables
+		st := m4.NewShoupTables(tab)
+		poly := make(ntt.Poly, p.N)
+		src2 := rng.NewXorshift128(80)
+		for i := range poly {
+			poly[i] = src2.Uint32() % p.Q
+		}
+		mS := m4.New()
+		m4.ForwardShoup(mS, st, append(ntt.Poly(nil), poly...))
+		mB := m4.New()
+		m4.ForwardHalfword(mB, tab, append(ntt.Poly(nil), poly...))
+		t.Rows = append(t.Rows, []string{
+			"Forward NTT P1, Shoup vs Barrett (modeled)",
+			"lazy kernel strictly cheaper",
+			fmt.Sprintf("%s vs %s cycles (%.2f×)",
+				commas(mS.Cycles), commas(mB.Cycles),
+				float64(mB.Cycles)/float64(mS.Cycles)),
+		})
+	}
 	t.Notes = append(t.Notes,
 		"Further extensions live in the code: constant-time decode "+
 			"(internal/core), constant-time CDT sampling (internal/gauss), and "+

@@ -68,12 +68,14 @@ func TestTableIIIIncludesLiteratureAndRepro(t *testing.T) {
 
 func TestExtensionsTable(t *testing.T) {
 	tab := Extensions()
-	if len(tab.Rows) != 3 {
-		t.Fatalf("Extensions has %d rows, want 3", len(tab.Rows))
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Extensions has %d rows, want 7 (failure, sampler, KEM, 3 butterfly costs, Shoup vs Barrett)", len(tab.Rows))
 	}
 	var buf bytes.Buffer
 	tab.Render(&buf)
-	for _, frag := range []string{"bit-failure", "LUT1", "KEM"} {
+	for _, frag := range []string{"bit-failure", "LUT1", "KEM",
+		"Butterfly cost, barrett engine", "Butterfly cost, packed engine",
+		"Butterfly cost, shoup engine", "Shoup vs Barrett"} {
 		if !strings.Contains(buf.String(), frag) {
 			t.Errorf("Extensions output missing %q", frag)
 		}

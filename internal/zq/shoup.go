@@ -1,0 +1,79 @@
+package zq
+
+// Shoup multiplication and lazy-domain arithmetic. A Shoup companion
+// w' = ⌊w·2³²/q⌋ of a fixed multiplicand w lets a·w mod q be computed with
+// one 32×32→64 high product, two 32-bit low products and at most one
+// conditional subtraction — no Barrett chain — which is exactly what an NTT
+// wants: every butterfly multiplies by a *precomputed* twiddle, so the
+// companion is computed once per table entry and amortized over every
+// transform (Harvey, "Faster arithmetic for number-theoretic transforms").
+//
+// The lazy domain: values live in [0, 2q) instead of [0, q). MulShoupLazy
+// returns a lazy value, AddLazy/SubLazy keep the invariant with one
+// conditional subtraction each, and NormalizeLazy folds back to canonical.
+// With the paper's moduli (q < 2¹⁴) the lazy bound 2q < 2¹⁵ leaves ample
+// 32-bit headroom; the bound proofs live in shoup_test.go.
+
+// shoupBeta is the Shoup radix β = 2³². Companions are ⌊w·β/q⌋.
+const shoupBeta = 1 << 32
+
+// Shoup returns the Shoup companion ⌊w·2³²/q⌋ of the canonical residue w,
+// for use as the wShoup argument of MulShoupLazy with the same w.
+func (m *Modulus) Shoup(w uint32) uint32 {
+	if w >= m.Q {
+		panic("zq: Shoup companion of non-canonical value")
+	}
+	return uint32((uint64(w) << 32) / uint64(m.Q))
+}
+
+// MulShoupLazy returns a value congruent to a·w (mod q) in the lazy range
+// [0, 2q). w must be canonical and wShoup its Shoup companion; a may be ANY
+// uint32 — canonical, lazy, or wider — because the quotient estimate
+// t = ⌊a·w'/β⌋ undershoots ⌊a·w/q⌋ by at most one for every a < β
+// (proof in TestMulShoupLazyBound). The subtraction a·w − t·q is taken
+// modulo 2³², which is exact since the true remainder is below 2q < 2³².
+func (m *Modulus) MulShoupLazy(a, w, wShoup uint32) uint32 {
+	t := uint32((uint64(a) * uint64(wShoup)) >> 32)
+	return a*w - t*m.Q
+}
+
+// MulShoup is MulShoupLazy with the final conditional subtraction, returning
+// the canonical residue a·w mod q.
+func (m *Modulus) MulShoup(a, w, wShoup uint32) uint32 {
+	r := m.MulShoupLazy(a, w, wShoup)
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// NormalizeLazy folds a lazy value a ∈ [0, 2q) to its canonical residue.
+func (m *Modulus) NormalizeLazy(a uint32) uint32 {
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// AddLazy returns a + b (mod 2q) for lazy a, b ∈ [0, 2q), staying in the
+// lazy domain with a single conditional subtraction. Because 2q ≡ 0 (mod q)
+// the result is still congruent to a + b (mod q).
+func (m *Modulus) AddLazy(a, b uint32) uint32 {
+	s := a + b
+	if twoQ := 2 * m.Q; s >= twoQ {
+		s -= twoQ
+	}
+	return s
+}
+
+// SubLazy returns a value congruent to a − b (mod q) in [0, 2q), for lazy
+// a, b ∈ [0, 2q): the 2q offset clears the underflow and one conditional
+// subtraction restores the invariant.
+func (m *Modulus) SubLazy(a, b uint32) uint32 {
+	twoQ := 2 * m.Q
+	d := a + twoQ - b
+	if d >= twoQ {
+		d -= twoQ
+	}
+	return d
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"ringlwe/internal/core"
+	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
 )
 
@@ -128,12 +129,44 @@ type Scheme struct {
 	pool   sync.Pool // *Workspace, backing AcquireWorkspace
 }
 
+// Option configures optional Scheme behaviour at construction.
+type Option func(*schemeConfig)
+
+type schemeConfig struct {
+	engine string
+}
+
+// WithEngine selects the NTT backend the scheme's transforms run through,
+// by registry name (see Engines). Every backend computes bit-identical
+// results — the known-answer vectors hold under all of them — so this is
+// purely a speed/footprint knob: "shoup" (the default) is the
+// Shoup-multiplied lazy-reduction kernel, "barrett" the generic reference
+// path, and "packed" the paper's two-coefficients-per-word layout (which
+// allocates per transform; it exists for study, not throughput).
+// Construction panics if the name is not registered.
+func WithEngine(name string) Option {
+	return func(c *schemeConfig) { c.engine = name }
+}
+
+// Engines lists the registered NTT backend names accepted by WithEngine.
+func Engines() []string { return ntt.EngineNames() }
+
+func applyOptions(opts []Option) schemeConfig {
+	c := schemeConfig{engine: ntt.DefaultEngine}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
 // New returns a Scheme drawing randomness from the operating system CSPRNG
 // (crypto/rand).
-func New(p *Params) *Scheme {
-	s, err := core.New(p.inner, rng.NewCryptoSource())
+func New(p *Params, opts ...Option) *Scheme {
+	c := applyOptions(opts)
+	s, err := core.NewWithEngine(p.inner, rng.NewCryptoSource(), c.engine)
 	if err != nil {
-		// Construction over validated Params cannot fail.
+		// Construction over validated Params fails only for an unknown or
+		// incompatible engine name.
 		panic("ringlwe: " + err.Error())
 	}
 	return newScheme(p, s)
@@ -143,13 +176,19 @@ func New(p *Params) *Scheme {
 // reproducible, NOT secure. For tests, benchmarks and simulations only.
 // Workspaces forked from a deterministic Scheme are themselves
 // deterministic (fork order matters, per-workspace streams do not race).
-func NewDeterministic(p *Params, seed uint64) *Scheme {
-	s, err := core.New(p.inner, rng.NewXorshift128(seed))
+// Engine choice (WithEngine) does not affect the deterministic stream:
+// transforms consume no randomness.
+func NewDeterministic(p *Params, seed uint64, opts ...Option) *Scheme {
+	c := applyOptions(opts)
+	s, err := core.NewWithEngine(p.inner, rng.NewXorshift128(seed), c.engine)
 	if err != nil {
 		panic("ringlwe: " + err.Error())
 	}
 	return newScheme(p, s)
 }
+
+// Engine returns the name of the NTT backend this scheme runs on.
+func (s *Scheme) Engine() string { return s.inner.Engine() }
 
 func newScheme(p *Params, inner *core.Scheme) *Scheme {
 	s := &Scheme{params: p, inner: inner}
