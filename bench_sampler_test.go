@@ -1,0 +1,42 @@
+package ringlwe
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEncryptEngineSampler measures the steady-state workspace
+// encrypt path across the full engine × sampler matrix, the end-to-end
+// view BENCH_3.json archives: the NTT engine sets the transform cost, the
+// sampler backend the error-generation cost, and the two knobs compose
+// independently.
+func BenchmarkEncryptEngineSampler(b *testing.B) {
+	p := P1()
+	msg := make([]byte, p.MessageSize())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	for _, engine := range Engines() {
+		if engine == "packed" {
+			continue // allocates per transform; not a throughput backend
+		}
+		for _, smp := range Samplers() {
+			b.Run(fmt.Sprintf("%s/%s", engine, smp), func(b *testing.B) {
+				s := NewDeterministic(p, 1, WithEngine(engine), WithSampler(smp))
+				pk, _, err := s.GenerateKeys()
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := s.NewWorkspace()
+				ct := NewCiphertext(p)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.EncryptInto(ct, pk, msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -6,6 +6,11 @@
 //
 //	go test -run XXX -bench 'NTT|Encrypt' -benchmem ./... | rlwe-benchjson > BENCH.json
 //	rlwe-benchjson -in bench.txt -out BENCH_2.json
+//	rlwe-benchjson -in ntt.txt,sampler.txt -out BENCH_3.json
+//
+// -in accepts a comma-separated list so benchmark families collected by
+// separate go test invocations (the NTT suite, the sampler suite, the
+// engine×sampler matrix) merge into one archived document.
 package main
 
 import (
@@ -72,24 +77,33 @@ func parse(r io.Reader) ([]Result, error) {
 }
 
 func main() {
-	in := flag.String("in", "", "input file (default stdin)")
+	in := flag.String("in", "", "input file(s), comma separated (default stdin)")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
-	var src io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	var results []Result
+	if *in == "" {
+		r, err := parse(os.Stdin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		src = f
-	}
-	results, err := parse(src)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
-		os.Exit(1)
+		results = r
+	} else {
+		for _, name := range strings.Split(*in, ",") {
+			f, err := os.Open(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
+				os.Exit(1)
+			}
+			r, err := parse(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rlwe-benchjson:", err)
+				os.Exit(1)
+			}
+			results = append(results, r...)
+		}
 	}
 	doc := Document{
 		GoVersion: runtime.Version(),

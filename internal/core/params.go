@@ -29,6 +29,7 @@ import (
 	"ringlwe/internal/gauss"
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
+	"ringlwe/internal/sampler"
 	"ringlwe/internal/zq"
 )
 
@@ -55,6 +56,10 @@ type Params struct {
 
 	lut1, lut2 []uint8
 	maxFailD   int
+
+	// samplerCfg shares the matrix and LUTs with the pluggable sampler
+	// subsystem; every workspace engine of this parameter set reads it.
+	samplerCfg *sampler.Config
 }
 
 // NewParams validates and precomputes a parameter set. lambda is the
@@ -90,8 +95,13 @@ func NewParams(name string, n int, q uint32, sNum, sDen int64, lambda int) (*Par
 		SNum: sNum, SDen: sDen, Sigma: sigma,
 		Mod: mod, Tables: tables, Matrix: mat,
 		lut1: lut1, lut2: lut2, maxFailD: maxD,
+		samplerCfg: &sampler.Config{Matrix: mat, LUT1: lut1, LUT2: lut2, MaxFailD: maxD},
 	}, nil
 }
+
+// SamplerConfig returns the shared immutable state (matrix plus lookup
+// tables) the pluggable sampler backends are constructed over.
+func (p *Params) SamplerConfig() *sampler.Config { return p.samplerCfg }
 
 // NewSampler returns a fresh Knuth-Yao sampler (full paper configuration:
 // LUTs plus clz scanning) drawing from src, reusing the precomputed tables.

@@ -8,6 +8,7 @@ import (
 
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
+	"ringlwe/internal/sampler"
 )
 
 // PublicKey is (ã, p̃), both in the NTT domain.
@@ -58,6 +59,13 @@ type Scheme struct {
 	// under any of them); they differ in speed and allocation behaviour.
 	eng ntt.Engine
 
+	// smp is the registry name of the Gaussian sampler backend every
+	// workspace of this scheme instantiates. Unlike the NTT engines,
+	// sampler backends spend randomness differently, so only the default
+	// "knuth-yao" reproduces the historical deterministic streams; the
+	// others produce different (equally distributed) error polynomials.
+	smp string
+
 	// src is the base randomness source behind a mutex: the one-shot path
 	// draws from it and workspace forking may consume its state, possibly
 	// from different goroutines.
@@ -84,11 +92,21 @@ func New(params *Params, src rng.Source) (*Scheme, error) {
 // name (see ntt.EngineNames). Engine choice never changes results — only
 // how fast they are computed.
 func NewWithEngine(params *Params, src rng.Source, engine string) (*Scheme, error) {
+	return NewWithEngines(params, src, engine, sampler.Default)
+}
+
+// NewWithEngines is New with both pluggable backends chosen explicitly:
+// the NTT engine by ntt registry name and the Gaussian sampler by sampler
+// registry name (see sampler.Names). The NTT choice never changes bits;
+// the sampler choice changes how randomness is spent, so non-default
+// samplers yield different — equally valid and equally distributed —
+// keys and ciphertexts from the same seed.
+func NewWithEngines(params *Params, src rng.Source, engine, smp string) (*Scheme, error) {
 	eng, err := ntt.NewEngine(engine, params.Tables)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	s := &Scheme{Params: params, eng: eng, src: rng.NewLockedSource(src)}
+	s := &Scheme{Params: params, eng: eng, smp: smp, src: rng.NewLockedSource(src)}
 	def, err := newWorkspace(s, s.src)
 	if err != nil {
 		return nil, err
@@ -107,6 +125,10 @@ func NewWithEngine(params *Params, src rng.Source, engine string) (*Scheme, erro
 
 // Engine returns the registry name of the NTT backend this scheme runs on.
 func (s *Scheme) Engine() string { return s.eng.Name() }
+
+// Sampler returns the registry name of the Gaussian sampler backend this
+// scheme's workspaces draw error polynomials from.
+func (s *Scheme) Sampler() string { return s.smp }
 
 // NewWorkspace forks an independent per-goroutine workspace off the
 // scheme's base randomness source. Safe to call concurrently with any

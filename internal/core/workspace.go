@@ -4,51 +4,58 @@ import (
 	"errors"
 	"fmt"
 
-	"ringlwe/internal/gauss"
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
+	"ringlwe/internal/sampler"
 )
 
 // Workspace is the per-goroutine mutable half of a Scheme: a private
-// Knuth-Yao sampler (sharing the Scheme's immutable probability matrix and
-// lookup tables), a private uniform bit pool over a forked randomness
-// source, and preallocated scratch polynomials sized for the encrypt path.
-// Steady-state EncryptInto/DecryptInto perform no heap allocation.
+// Gaussian sampler engine (the scheme's selected backend, sharing the
+// immutable probability matrix and lookup tables), a private uniform bit
+// pool over a forked randomness source, and preallocated scratch
+// polynomials sized for the encrypt path. Steady-state
+// EncryptInto/DecryptInto perform no heap allocation.
 //
 // A Workspace is not safe for concurrent use; create one per goroutine with
 // Scheme.NewWorkspace (cheap: the heavy tables are shared) or borrow one
 // from the Scheme's internal pool via Acquire/Release.
 type Workspace struct {
 	scheme  *Scheme
-	sampler *gauss.Sampler
+	sampler sampler.Engine
 	uniform *rng.BitPool
 
 	// Scratch polynomials: the three error polynomials of one encryption.
-	// DecryptInto reuses e1 as its accumulator.
+	// DecryptInto reuses e1 as its accumulator. errs aliases all three as
+	// the reusable ForwardMany batch, so the fused transform takes a
+	// workspace-owned slice and stays allocation-free.
 	e1, e2, e3 ntt.Poly
+	errs       []ntt.Poly
 
 	// flushed snapshots the sampler counters at the last flushStats, so
 	// aggregation adds only the delta.
-	flushed [4]uint64
+	flushed sampler.Stats
 }
 
 // newWorkspace builds a workspace drawing all randomness from src. The
 // construction order (sampler first, then uniform pool) matches the
-// historical core.New so deterministic streams are unchanged.
+// historical core.New, and engine construction consumes no source words,
+// so deterministic streams are unchanged under the default backend.
 func newWorkspace(s *Scheme, src rng.Source) (*Workspace, error) {
-	sampler, err := s.Params.NewSampler(src)
+	smp, err := sampler.New(s.smp, s.Params.SamplerConfig(), src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	p := s.Params
-	return &Workspace{
+	w := &Workspace{
 		scheme:  s,
-		sampler: sampler,
+		sampler: smp,
 		uniform: rng.NewBitPool(src),
 		e1:      make(ntt.Poly, p.N),
 		e2:      make(ntt.Poly, p.N),
 		e3:      make(ntt.Poly, p.N),
-	}, nil
+	}
+	w.errs = []ntt.Poly{w.e1, w.e2, w.e3}
+	return w, nil
 }
 
 // Params returns the workspace's parameter set.
@@ -59,13 +66,13 @@ func (w *Workspace) Params() *Params { return w.scheme.Params }
 // operation, so Scheme.SamplerStats observes a consistent total without
 // racing on the per-workspace counters.
 func (w *Workspace) flushStats() {
-	s := w.sampler
+	now := w.sampler.Stats()
 	st := &w.scheme.stats
-	st.samples.Add(s.Samples - w.flushed[0])
-	st.lut1.Add(s.LUT1Hits - w.flushed[1])
-	st.lut2.Add(s.LUT2Hits - w.flushed[2])
-	st.scans.Add(s.ScanResolved - w.flushed[3])
-	w.flushed = [4]uint64{s.Samples, s.LUT1Hits, s.LUT2Hits, s.ScanResolved}
+	st.samples.Add(now.Samples - w.flushed.Samples)
+	st.lut1.Add(now.LUT1Hits - w.flushed.LUT1Hits)
+	st.lut2.Add(now.LUT2Hits - w.flushed.LUT2Hits)
+	st.scans.Add(now.ScanResolved - w.flushed.ScanResolved)
+	w.flushed = now
 }
 
 // UniformPolyInto fills dst with independent uniform coefficients in [0, q)
@@ -94,9 +101,10 @@ func (w *Workspace) UniformPoly() ntt.Poly {
 	return out
 }
 
-// errorPolyInto fills dst with one X_σ error polynomial, reduced mod q.
+// errorPolyInto fills dst with one X_σ error polynomial, reduced mod q,
+// through the scheme's selected sampler backend.
 func (w *Workspace) errorPolyInto(dst ntt.Poly) {
-	w.sampler.SamplePoly(dst, w.scheme.Params.Q)
+	w.sampler.SamplePolyInto(dst, w.scheme.Params.Q)
 }
 
 // UniformRandom16 returns 16 uniform random bits from the workspace's
@@ -188,8 +196,10 @@ func (w *Workspace) EncryptInto(ct *Ciphertext, pk *PublicKey, msg []byte) error
 	addEncoded(p, w.e3, msg) // e3 + m̄ in the normal domain
 	// The three forward transforms of one encryption, fused exactly as the
 	// paper's parallel NTT (and the instrumented Cortex-M4F model) fuses
-	// them — each engine supplies its own fused variant.
-	eng.ForwardThree(w.e1, w.e2, w.e3)
+	// them — through the generalized batch transform over the
+	// workspace-owned slice, so the batch layer's workers amortize the
+	// twiddle loads without allocating.
+	eng.ForwardMany(w.errs)
 
 	eng.PointwiseMul(ct.C1, pk.A, w.e1)
 	t.Add(ct.C1, ct.C1, w.e2) // c̃1 = ã∘ẽ1 + ẽ2

@@ -25,15 +25,16 @@ type CDTSampler struct {
 	ConstantTime bool
 }
 
-// NewCDTSampler derives the cumulative table from the same exact
-// probabilities the Knuth-Yao matrix is built from, so both samplers target
-// the identical distribution.
-func NewCDTSampler(m *Matrix, src rng.Source) *CDTSampler {
+// NewCDTTable builds the 64-bit cumulative magnitude table from the same
+// exact probabilities the Knuth-Yao matrix is built from: entry i is
+// 2^64 · P(|X| ≤ i), with the last entry saturated so lookups never fall
+// off the table (the residual tail mass, < 2^-100, folds into the largest
+// magnitude). Magnitude i carries its full two-sided mass — the sign bit
+// splits it afterwards, and magnitude 0 keeps everything because the sign
+// is ignored there — the same convention the Knuth-Yao walk uses, so every
+// sampler built over this table targets the identical distribution.
+func NewCDTTable(m *Matrix) []uint64 {
 	prec := uint(m.Cols) + 96
-	// Entry i holds 2^64 · P(|X| ≤ i): magnitude i is drawn with the full
-	// two-sided mass p_i (the sign bit then splits it, and magnitude 0 keeps
-	// its whole mass because the sign is ignored there) — the same
-	// convention the Knuth-Yao walk uses.
 	scale := new(big.Float).SetPrec(prec).SetMantExp(big.NewFloat(1), 64)
 	cum := make([]uint64, m.Rows)
 	acc := new(big.Float).SetPrec(prec)
@@ -43,10 +44,14 @@ func NewCDTSampler(m *Matrix, src rng.Source) *CDTSampler {
 		u, _ := v.Uint64()
 		cum[i] = u
 	}
-	// Force the last entry to saturate so lookups never fall off the table:
-	// the residual tail mass (< 2^-100) is folded into the largest magnitude.
 	cum[m.Rows-1] = ^uint64(0)
-	return &CDTSampler{cum: cum, pool: rng.NewBitPool(src)}
+	return cum
+}
+
+// NewCDTSampler derives the cumulative table from the matrix (see
+// NewCDTTable) and binds it to a scalar bit pool over src.
+func NewCDTSampler(m *Matrix, src rng.Source) *CDTSampler {
+	return &CDTSampler{cum: NewCDTTable(m), pool: rng.NewBitPool(src)}
 }
 
 // TableBytes returns the table footprint for memory accounting.

@@ -287,6 +287,26 @@ func (s *Sampler) scanFrom(col int, d uint32) uint32 {
 	return 0
 }
 
+// ResumeWalk continues Algorithm 1 at DDG level col+1 with distance d,
+// drawing one level bit per column from nextBit and scanning columns with
+// the paper's clz strategy. It returns the terminal row, or 0 when the walk
+// exhausts every column (the sub-2^-100 truncation fallback, Algorithm 1
+// line 11). This is the residual-walk entry point for samplers that manage
+// their own randomness front end (the batched engine resolves its rare
+// LUT failures here); Sampler.scanFrom is the same walk bound to the
+// scalar bit pool.
+func (m *Matrix) ResumeWalk(col int, d uint32, nextBit func() uint32) uint32 {
+	for ; col < m.Cols; col++ {
+		d = 2*d + nextBit()
+		row, dOut, hit := scanColumnCLZ(m, col, d)
+		if hit {
+			return row
+		}
+		d = dOut
+	}
+	return 0
+}
+
 // scanColumnBasic visits every row of the column, including zeros — the
 // unoptimized inner loop the paper starts from.
 func scanColumnBasic(m *Matrix, col int, d uint32) (row uint32, hit bool) {

@@ -1,0 +1,120 @@
+package ntt
+
+import (
+	"testing"
+
+	"ringlwe/internal/rng"
+	"ringlwe/internal/zq"
+)
+
+func manyTestTables(t testing.TB) *Tables {
+	t.Helper()
+	m, err := zq.NewModulus(7681)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTables(m, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func randomPolys(tb *Tables, count int, seed uint64) []Poly {
+	src := rng.NewXorshift128(seed)
+	polys := make([]Poly, count)
+	for i := range polys {
+		polys[i] = make(Poly, tb.N)
+		for j := range polys[i] {
+			polys[i][j] = src.Uint32() % tb.M.Q
+		}
+	}
+	return polys
+}
+
+// TestForwardManyMatchesForward pins ForwardMany to repeated Forward on
+// every engine, across batch widths from the empty batch through widths
+// past the fused-three special case.
+func TestForwardManyMatchesForward(t *testing.T) {
+	tb := manyTestTables(t)
+	for _, name := range EngineNames() {
+		eng, err := NewEngine(name, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, count := range []int{0, 1, 2, 3, 4, 5, 8} {
+			got := randomPolys(tb, count, uint64(100+count))
+			want := randomPolys(tb, count, uint64(100+count))
+			eng.ForwardMany(got)
+			for i := range want {
+				eng.Forward(want[i])
+			}
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("%s count=%d poly %d coeff %d: ForwardMany %d, Forward %d",
+							name, count, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardThreeMatchesForwardMany pins the delegation: the historical
+// fused-three entry point and a width-3 ForwardMany are bit-identical.
+func TestForwardThreeMatchesForwardMany(t *testing.T) {
+	tb := manyTestTables(t)
+	for _, name := range EngineNames() {
+		eng, err := NewEngine(name, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randomPolys(tb, 3, 7)
+		b := randomPolys(tb, 3, 7)
+		eng.ForwardThree(a[0], a[1], a[2])
+		eng.ForwardMany(b)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s poly %d coeff %d: ForwardThree %d, ForwardMany %d",
+						name, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestForwardManyZeroAllocShoup pins the hot-path contract: driving a
+// caller-held batch slice through the Shoup engine allocates nothing (the
+// encrypt path reuses one workspace-owned slice this way; a slice literal
+// built at an interface call site would escape).
+func TestForwardManyZeroAllocShoup(t *testing.T) {
+	tb := manyTestTables(t)
+	eng, err := NewEngine("shoup", tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := randomPolys(tb, 3, 9)
+	allocs := testing.AllocsPerRun(20, func() {
+		eng.ForwardMany(polys)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForwardMany allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestForwardManyLengthPanics pins the length validation.
+func TestForwardManyLengthPanics(t *testing.T) {
+	tb := manyTestTables(t)
+	eng, err := NewEngine("shoup", tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardMany with a short polynomial did not panic")
+		}
+	}()
+	eng.ForwardMany([]Poly{make(Poly, tb.N), make(Poly, tb.N-1)})
+}

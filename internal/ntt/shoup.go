@@ -174,15 +174,23 @@ func (e *ShoupEngine) Forward(a Poly) {
 }
 
 // ForwardThree implements Engine: the paper's parallel-3 NTT with Shoup
-// butterflies — the twiddle and its companion are loaded once per butterfly
-// group and reused across all three polynomials.
+// butterflies, a fixed-width case of ForwardMany.
 func (e *ShoupEngine) ForwardThree(a, b, c Poly) {
+	e.ForwardMany([]Poly{a, b, c})
+}
+
+// ForwardMany implements Engine: the fused parallel NTT at any batch width
+// — the twiddle and its Shoup companion are loaded once per butterfly
+// group and reused across every polynomial, all of them riding the lazy
+// [0, 2q) domain until one final normalization sweep each.
+func (e *ShoupEngine) ForwardMany(polys []Poly) {
 	n := e.t.N
-	if len(a) != n || len(b) != n || len(c) != n {
-		panic("ntt: ForwardThree length mismatch")
+	for _, p := range polys {
+		if len(p) != n {
+			panic("ntt: ForwardMany length mismatch")
+		}
 	}
 	m, twoQ := e.t.M, e.twoQ
-	polys := [3]Poly{a, b, c}
 	step := n
 	for half := 1; half < n; half <<= 1 {
 		step >>= 1
@@ -209,9 +217,9 @@ func (e *ShoupEngine) ForwardThree(a, b, c Poly) {
 			}
 		}
 	}
-	e.Normalize(a)
-	e.Normalize(b)
-	e.Normalize(c)
+	for _, p := range polys {
+		e.Normalize(p)
+	}
 }
 
 // Inverse implements Engine. The final n⁻¹ scaling is a Shoup

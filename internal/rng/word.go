@@ -1,0 +1,15 @@
+package rng
+
+// Word-granularity draws. The paper's bit pool stretches one 32-bit TRNG
+// word across many single-bit Knuth-Yao steps; the batched and inversion
+// samplers go the other way and consume randomness a whole machine word at
+// a time. Uint64 is that primitive: it glues two source words into one
+// 64-bit draw, low word first, so a 64-bit-uniform consumer (the CDT
+// inversion lookup) pays two fetches and no per-bit bookkeeping at all.
+
+// Uint64 returns the next 64 uniform bits of src, composed from two 32-bit
+// draws with the first draw in the low half.
+func Uint64(src Source) uint64 {
+	lo := uint64(src.Uint32())
+	return lo | uint64(src.Uint32())<<32
+}

@@ -1,0 +1,18 @@
+package rng
+
+import "testing"
+
+// TestUint64Composition pins the word order: first 32-bit draw in the low
+// half, second in the high half.
+func TestUint64Composition(t *testing.T) {
+	a := NewXorshift128(99)
+	b := NewXorshift128(99)
+	for i := 0; i < 1000; i++ {
+		lo := b.Uint32()
+		hi := b.Uint32()
+		want := uint64(lo) | uint64(hi)<<32
+		if got := Uint64(a); got != want {
+			t.Fatalf("draw %d: Uint64 = %#x, want %#x", i, got, want)
+		}
+	}
+}

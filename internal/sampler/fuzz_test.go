@@ -1,0 +1,70 @@
+package sampler
+
+import (
+	"testing"
+
+	"ringlwe/internal/gauss"
+	"ringlwe/internal/rng"
+)
+
+// FuzzSamplerDifferential drives the batched backend against the scalar
+// reference under fuzz-chosen seeds of one shared deterministic generator
+// family. The two backends spend their randomness differently, so their
+// outputs diverge bit-wise by design; what must agree, for every seed, is
+// the accounting — both resolve exactly one magnitude per coefficient
+// across the three tiers — and the distribution, pinned by a chi-square
+// against the exact matrix probabilities generous enough never to fire on
+// a faithful sampler.
+func FuzzSamplerDifferential(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(0xDEADBEEF))
+	f.Add(uint64(1) << 63)
+	cfg := testConfig(f)
+	const q = 7681
+	const total = 1 << 14
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		batched, err := New("batched-ky", cfg, rng.NewXorshift128(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := New("knuth-yao", cfg, rng.NewXorshift128(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines := []Engine{batched, reference}
+		hists := make([]map[int32]uint64, len(engines))
+		for i, e := range engines {
+			hists[i] = signedHist(e, q, total)
+			st := e.Stats()
+			if st.Samples != total {
+				t.Fatalf("%s: Samples = %d, want %d", e.Name(), st.Samples, total)
+			}
+			if got := st.LUT1Hits + st.LUT2Hits + st.ScanResolved; got != st.Samples {
+				t.Fatalf("%s: resolution counters total %d, want %d", e.Name(), got, st.Samples)
+			}
+		}
+		// Counter totals agree across backends: same sample count, and the
+		// LUT hit rates are within the statistical band of each other
+		// (identical tables, independent bits — binomial fluctuation at
+		// p≈0.975 over 2^14 draws stays well inside 1%).
+		b, r := engines[0].Stats(), engines[1].Stats()
+		if b.Samples != r.Samples {
+			t.Fatalf("sample totals differ: %d vs %d", b.Samples, r.Samples)
+		}
+		diff := int64(b.LUT1Hits) - int64(r.LUT1Hits)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > int64(total/100) {
+			t.Fatalf("LUT1 hit counts differ by %d of %d (batched %d, scalar %d)",
+				diff, total, b.LUT1Hits, r.LUT1Hits)
+		}
+		for i, e := range engines {
+			stat, df := gauss.ChiSquare(cfg.Matrix, hists[i], total, 8)
+			crit := gauss.ChiSquareCritical(df, 1e-12)
+			if stat > crit {
+				t.Fatalf("%s seed %#x: χ² = %.1f with %d df exceeds %.1f", e.Name(), seed, stat, df, crit)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package swar
+
+import "ringlwe/internal/rng"
+
+// BitPool64 is the word-at-a-time companion of rng.BitPool: it dispenses the
+// exact same bit stream (each 32-bit source word contributes its low 31 bits,
+// LSB first, matching the scalar pool's sentinel layout), but hands out up to
+// 32 bits per call from a 64-bit buffer instead of one bit per call. This is
+// the randomness front end of the batched samplers: a LUT-1 byte probe is one
+// shift-and-mask here where the scalar pool pays eight branchy single-bit
+// draws.
+//
+// Not safe for concurrent use, like the scalar pool.
+type BitPool64 struct {
+	src rng.Source
+	buf uint64 // undispensed bits, LSB first
+	n   uint   // number of valid bits in buf
+
+	// Refills counts source-word fetches, mirroring rng.BitPool.Refills.
+	Refills uint64
+}
+
+// NewBitPool64 returns an empty pool over src; the first NextBits call
+// fetches.
+func NewBitPool64(src rng.Source) *BitPool64 {
+	return &BitPool64{src: src}
+}
+
+// Remaining returns how many buffered bits are available without a refill.
+func (p *BitPool64) Remaining() uint { return p.n }
+
+// NextBits returns the next k random bits (0 ≤ k ≤ 32) packed little-endian:
+// the first bit of the stream is the least significant bit of the result.
+// The stream is bit-identical to k successive rng.BitPool.Bit() calls over
+// an identical source (the equivalence test in bitpool_test.go pins this).
+func (p *BitPool64) NextBits(k uint) uint64 {
+	if k > 32 {
+		panic("swar: NextBits supports at most 32 bits per call")
+	}
+	for p.n < k {
+		// Each refill contributes the 31 payload bits of one source word —
+		// the scalar pool's MSB sentinel position carries no entropy there,
+		// so it is simply dropped here. n < k ≤ 32 on entry, so at most two
+		// refills run (n ≤ 31 before the second) and the buffer tops out at
+		// 62 valid bits; it never overflows.
+		p.buf |= uint64(p.src.Uint32()&0x7FFFFFFF) << p.n
+		p.n += 31
+		p.Refills++
+	}
+	v := p.buf & (1<<k - 1)
+	p.buf >>= k
+	p.n -= k
+	return v
+}

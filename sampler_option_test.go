@@ -1,0 +1,200 @@
+package ringlwe
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWithSamplerKnuthYaoBitIdentical pins the KAT guarantee of the
+// sampler subsystem: selecting the default backend explicitly is
+// indistinguishable from not selecting one at all — same seed, byte-equal
+// key material and ciphertexts. Combined with kat_test.go (which pins the
+// default path to frozen vectors), this proves routing sampling through
+// the pluggable engine left every known answer unchanged.
+func TestWithSamplerKnuthYaoBitIdentical(t *testing.T) {
+	p := P1()
+	msg := make([]byte, p.MessageSize())
+	for i := range msg {
+		msg[i] = byte(i * 29)
+	}
+	def := NewDeterministic(p, 5150)
+	ky := NewDeterministic(p, 5150, WithSampler("knuth-yao"))
+	if def.Sampler() != "knuth-yao" {
+		t.Fatalf("default sampler = %q, want knuth-yao", def.Sampler())
+	}
+	pk1, sk1, err := def.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, sk2, err := ky.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pk1.Bytes(), pk2.Bytes()) || !bytes.Equal(sk1.Bytes(), sk2.Bytes()) {
+		t.Fatal("explicit knuth-yao key material differs from the default path")
+	}
+	ct1, err := def.Encrypt(pk1, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := ky.Encrypt(pk2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ct1.Bytes(), ct2.Bytes()) {
+		t.Fatal("explicit knuth-yao ciphertext differs from the default path")
+	}
+}
+
+// flippedBits counts differing bits; the scheme's intrinsic failure rate
+// allows a stray flip per message, which must not fail the interop tests.
+func flippedBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		d := a[i] ^ b[i]
+		for ; d != 0; d &= d - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWithSamplerRoundTrip proves every registered backend produces valid
+// encryptions: keys generated, messages sealed and opened under each
+// backend, on both public parameter sets.
+func TestWithSamplerRoundTrip(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		msg := make([]byte, p.MessageSize())
+		for i := range msg {
+			msg[i] = byte(3*i + 1)
+		}
+		for i, name := range Samplers() {
+			s := NewDeterministic(p, uint64(400+i), WithSampler(name))
+			if s.Sampler() != name {
+				t.Fatalf("Sampler() = %q, want %q", s.Sampler(), name)
+			}
+			pk, sk, err := s.GenerateKeys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := s.Encrypt(pk, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sk.Decrypt(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flips := flippedBits(got, msg); flips > 2 {
+				t.Errorf("%s/%s: decryption flipped %d bits", p.Name(), name, flips)
+			}
+		}
+	}
+}
+
+// TestWithSamplerInterop proves sampler choice is a per-scheme concern
+// with no wire footprint: ciphertexts sealed under one backend open with
+// key material generated under another.
+func TestWithSamplerInterop(t *testing.T) {
+	p := P1()
+	msg := make([]byte, p.MessageSize())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	gen := NewDeterministic(p, 808, WithSampler("cdt"))
+	pk, sk, err := gen.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkShared, err := ParsePublicKey(p, pk.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range Samplers() {
+		enc := NewDeterministic(p, uint64(900+i), WithSampler(name))
+		ct, err := enc.Encrypt(pkShared, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flips := flippedBits(got, msg); flips > 2 {
+			t.Errorf("encrypt under %s, decrypt under cdt keys: %d bits flipped", name, flips)
+		}
+	}
+}
+
+// TestWithSamplerUnknownPanics pins construction behaviour on a bad name,
+// mirroring the engine option.
+func TestWithSamplerUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown sampler did not panic")
+		}
+	}()
+	New(P1(), WithSampler("definitely-not-a-sampler"))
+}
+
+// TestSamplerStatsAllBackends checks the atomic stats aggregation works
+// for every backend — Samples advances by 3n per encryption on each — and
+// that the LUT counters stay zero for the table-free cdt backend.
+func TestSamplerStatsAllBackends(t *testing.T) {
+	p := P1()
+	msg := make([]byte, p.MessageSize())
+	for i, name := range Samplers() {
+		s := NewDeterministic(p, uint64(50+i), WithSampler(name))
+		pk, _, err := s.GenerateKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, _, _ := s.SamplerStats()
+		const rounds = 5
+		for r := 0; r < rounds; r++ {
+			if _, err := s.Encrypt(pk, msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		samples, lut1, lut2, scans := s.SamplerStats()
+		want := base + uint64(rounds*3*p.N())
+		if samples != want {
+			t.Errorf("%s: samples = %d after %d encryptions, want %d", name, samples, rounds, want)
+		}
+		resolved := lut1 + lut2 + scans
+		if name == "cdt" {
+			if resolved != 0 {
+				t.Errorf("cdt: resolution counters = %d, want 0", resolved)
+			}
+		} else if resolved != samples {
+			t.Errorf("%s: lut1+lut2+scans = %d, want %d", name, resolved, samples)
+		}
+	}
+}
+
+// TestWorkspaceSamplerZeroAlloc pins the steady-state encrypt path at zero
+// allocations under every sampler backend (the CI allocation-regression
+// gate runs -run ZeroAlloc).
+func TestWorkspaceSamplerZeroAlloc(t *testing.T) {
+	p := P1()
+	msg := make([]byte, p.MessageSize())
+	for i, name := range Samplers() {
+		s := NewDeterministic(p, uint64(60+i), WithSampler(name))
+		pk, _, err := s.GenerateKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := s.NewWorkspace()
+		ct := NewCiphertext(p)
+		if err := w.EncryptInto(ct, pk, msg); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := w.EncryptInto(ct, pk, msg); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: EncryptInto allocates %.1f/op, want 0", name, n)
+		}
+	}
+}
