@@ -1,8 +1,6 @@
 package ringlwe
 
 import (
-	"errors"
-
 	"ringlwe/internal/core"
 )
 
@@ -26,7 +24,7 @@ func (s *Scheme) runBatch(n int, fn func(w *Workspace, i int) error) error {
 // corresponds to msgs[i]. Safe to call from multiple goroutines at once.
 func (s *Scheme) EncryptBatch(pk *PublicKey, msgs [][]byte) ([]*Ciphertext, error) {
 	if pk.params.inner != s.params.inner {
-		return nil, errors.New("ringlwe: public key belongs to a different parameter set")
+		return nil, paramsMismatch("public key")
 	}
 	inner, err := s.inner.EncryptBatch(pk.inner, msgs, 0)
 	if err != nil {
@@ -43,12 +41,12 @@ func (s *Scheme) EncryptBatch(pk *PublicKey, msgs [][]byte) ([]*Ciphertext, erro
 // corresponds to cts[i].
 func (s *Scheme) DecryptBatch(sk *PrivateKey, cts []*Ciphertext) ([][]byte, error) {
 	if sk.params.inner != s.params.inner {
-		return nil, errors.New("ringlwe: private key belongs to a different parameter set")
+		return nil, paramsMismatch("private key")
 	}
 	inner := make([]*core.Ciphertext, len(cts))
 	for i, ct := range cts {
 		if ct.params.inner != s.params.inner {
-			return nil, errors.New("ringlwe: ciphertext belongs to a different parameter set")
+			return nil, paramsMismatch("ciphertext")
 		}
 		inner[i] = ct.inner
 	}
@@ -59,7 +57,7 @@ func (s *Scheme) DecryptBatch(sk *PrivateKey, cts []*Ciphertext) ([][]byte, erro
 // concurrently: blob i transports key i.
 func (s *Scheme) EncapsulateBatch(pk *PublicKey, n int) ([]EncapsulatedKey, [][SharedKeySize]byte, error) {
 	if pk.params.inner != s.params.inner {
-		return nil, nil, errors.New("ringlwe: public key belongs to a different parameter set")
+		return nil, nil, paramsMismatch("public key")
 	}
 	blobs := make([]EncapsulatedKey, n)
 	keys := make([][SharedKeySize]byte, n)
@@ -86,7 +84,7 @@ func (s *Scheme) DecapsulateBatch(sk *PrivateKey, blobs []EncapsulatedKey) (keys
 	keys = make([][SharedKeySize]byte, len(blobs))
 	errs = make([]error, len(blobs))
 	if sk.params.inner != s.params.inner {
-		err := errors.New("ringlwe: private key belongs to a different parameter set")
+		err := paramsMismatch("private key")
 		for i := range errs {
 			errs[i] = err
 		}

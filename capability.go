@@ -1,0 +1,85 @@
+package ringlwe
+
+// Capability interfaces — the API v2 consumption surface. Production
+// systems take crypto dependencies through small interfaces rather than
+// concrete structs (the layered ring/rlwe API of Lattigo is the model), so
+// each operation family the package offers is named by one interface:
+//
+//   - Encrypter / Decrypter: the raw LPR encryption scheme, with its
+//     intrinsic decryption-failure rate.
+//   - KEM: CPA key encapsulation with a confirmation tag, turning that
+//     failure rate into a detectable, retryable error.
+//   - AuthKEM: the CCA-secure Fujisaki-Okamoto surface with implicit
+//     rejection.
+//   - BatchEncrypter / BatchDecrypter / BatchKEM: the concurrency-safe
+//     fan-out layer over the bounded worker pool.
+//
+// *Scheme implements every interface; *Workspace implements the
+// per-goroutine subset (Encrypter, Decrypter, KEM). The assertions at the
+// bottom of this file pin those relationships at compile time.
+
+// Encrypter seals fixed-size messages to a public key. Messages are
+// exactly Params.MessageSize bytes (one bit per ring coefficient).
+type Encrypter interface {
+	Encrypt(pk *PublicKey, msg []byte) (*Ciphertext, error)
+}
+
+// Decrypter opens ciphertexts with a private key. Like the underlying LPR
+// scheme, decryption fails (returns a wrong message, not an error) with
+// small probability; transport keys through a KEM instead of raw messages.
+type Decrypter interface {
+	Decrypt(sk *PrivateKey, ct *Ciphertext) ([]byte, error)
+}
+
+// KEM is CPA-secure key encapsulation with a confirmation tag: Encapsulate
+// transports a fresh session key, Decapsulate recovers it or returns
+// ErrDecapsulation (wrong key material or an intrinsic LPR decryption
+// failure — the peer encapsulates again).
+type KEM interface {
+	Encapsulate(pk *PublicKey) (EncapsulatedKey, [SharedKeySize]byte, error)
+	Decapsulate(sk *PrivateKey, blob EncapsulatedKey) ([SharedKeySize]byte, error)
+}
+
+// AuthKEM is the CCA-secure surface: key encapsulation under the
+// Fujisaki-Okamoto transform with implicit rejection, safe against active
+// attackers who submit chosen ciphertexts.
+type AuthKEM interface {
+	GenerateCCAKeys() (*CCAKeyPair, error)
+	EncapsulateCCA(pk *PublicKey) ([]byte, [SharedKeySize]byte, error)
+	DecapsulateCCA(kp *CCAKeyPair, blob []byte) ([SharedKeySize]byte, error)
+}
+
+// BatchEncrypter fans encryption of many messages out over a bounded
+// worker pool; safe to call on a shared instance from many goroutines.
+type BatchEncrypter interface {
+	EncryptBatch(pk *PublicKey, msgs [][]byte) ([]*Ciphertext, error)
+}
+
+// BatchDecrypter is the concurrent many-ciphertext counterpart of
+// Decrypter.
+type BatchDecrypter interface {
+	DecryptBatch(sk *PrivateKey, cts []*Ciphertext) ([][]byte, error)
+}
+
+// BatchKEM runs many independent encapsulations or decapsulations
+// concurrently; decapsulation failures are reported per item.
+type BatchKEM interface {
+	EncapsulateBatch(pk *PublicKey, n int) ([]EncapsulatedKey, [][SharedKeySize]byte, error)
+	DecapsulateBatch(sk *PrivateKey, blobs []EncapsulatedKey) ([][SharedKeySize]byte, []error)
+}
+
+// Compile-time capability assertions: every interface above is implemented
+// by the types the documentation promises.
+var (
+	_ Encrypter      = (*Scheme)(nil)
+	_ Decrypter      = (*Scheme)(nil)
+	_ KEM            = (*Scheme)(nil)
+	_ AuthKEM        = (*Scheme)(nil)
+	_ BatchEncrypter = (*Scheme)(nil)
+	_ BatchDecrypter = (*Scheme)(nil)
+	_ BatchKEM       = (*Scheme)(nil)
+
+	_ Encrypter = (*Workspace)(nil)
+	_ Decrypter = (*Workspace)(nil)
+	_ KEM       = (*Workspace)(nil)
+)

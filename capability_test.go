@@ -1,0 +1,146 @@
+package ringlwe
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// The capability interfaces are usable as dependency seams: a consumer
+// written against Encrypter/Decrypter/KEM works with a Scheme and a
+// Workspace interchangeably.
+func TestCapabilityInterfaces(t *testing.T) {
+	p := P1()
+	s := NewDeterministic(p, 100)
+	pub, priv, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, p.MessageSize())
+	copy(msg, "through the interface")
+
+	roundTrip := func(e Encrypter, d Decrypter) {
+		t.Helper()
+		ct, err := e.Encrypt(pub, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Decrypt(priv, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Log("decryption failure (within LPR failure rate)")
+		}
+	}
+	roundTrip(s, s)
+	ws := s.NewWorkspace()
+	roundTrip(ws, ws)
+
+	kemTrip := func(k KEM) {
+		t.Helper()
+		for {
+			blob, sent, err := k.Encapsulate(pub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv, err := k.Decapsulate(priv, blob)
+			if errors.Is(err, ErrDecapsulation) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sent != recv {
+				t.Fatal("KEM keys disagree")
+			}
+			return
+		}
+	}
+	kemTrip(s)
+	kemTrip(s.NewWorkspace())
+
+	var ak AuthKEM = s
+	kp, err := ak.GenerateCCAKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, sent, err := ak.EncapsulateCCA(kp.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ak.DecapsulateCCA(kp, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != recv {
+		t.Fatal("AuthKEM keys disagree")
+	}
+}
+
+// Every cross-parameter-set check site wraps the one ErrParamsMismatch
+// sentinel, so callers test with errors.Is instead of string comparison.
+func TestParamsMismatchUniform(t *testing.T) {
+	s1 := NewDeterministic(P1(), 200)
+	s2 := NewDeterministic(P2(), 201)
+	pub1, priv1, err := s1.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub2, priv2, err := s2.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg1 := make([]byte, P1().MessageSize())
+	ct1, err := s1.Encrypt(pub1, msg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := s2.Encrypt(pub2, make([]byte, P2().MessageSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp2, err := s2.GenerateCCAKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := s1.NewWorkspace()
+	out := make([]byte, P1().MessageSize())
+
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"Scheme.Encrypt", func() error { _, err := s1.Encrypt(pub2, msg1); return err }},
+		{"Scheme.Decrypt/key", func() error { _, err := s1.Decrypt(priv2, ct2); return err }},
+		{"Scheme.Decrypt/ct", func() error { _, err := s1.Decrypt(priv1, ct2); return err }},
+		{"PrivateKey.Decrypt", func() error { _, err := priv1.Decrypt(ct2); return err }},
+		{"Workspace.EncryptInto", func() error { return ws.EncryptInto(NewCiphertext(P1()), pub2, msg1) }},
+		{"Workspace.EncryptInto/buffer", func() error { return ws.EncryptInto(NewCiphertext(P2()), pub1, msg1) }},
+		{"Workspace.Encrypt", func() error { _, err := ws.Encrypt(pub2, msg1); return err }},
+		{"Workspace.Decrypt", func() error { _, err := ws.Decrypt(priv2, ct1); return err }},
+		{"Workspace.DecryptInto", func() error { return ws.DecryptInto(out, priv1, ct2) }},
+		{"Workspace.Encapsulate", func() error { _, _, err := ws.Encapsulate(pub2); return err }},
+		{"Workspace.Decapsulate", func() error { _, err := ws.Decapsulate(priv2, nil); return err }},
+		{"Scheme.EncapsulateCCA", func() error { _, _, err := s1.EncapsulateCCA(pub2); return err }},
+		{"Scheme.DecapsulateCCA", func() error { _, err := s1.DecapsulateCCA(kp2, nil); return err }},
+		{"Scheme.EncryptBatch", func() error { _, err := s1.EncryptBatch(pub2, [][]byte{msg1}); return err }},
+		{"Scheme.DecryptBatch/key", func() error { _, err := s1.DecryptBatch(priv2, []*Ciphertext{ct1}); return err }},
+		{"Scheme.DecryptBatch/ct", func() error { _, err := s1.DecryptBatch(priv1, []*Ciphertext{ct2}); return err }},
+		{"Scheme.EncapsulateBatch", func() error { _, _, err := s1.EncapsulateBatch(pub2, 1); return err }},
+		{"Scheme.DecapsulateBatch", func() error {
+			_, errs := s1.DecapsulateBatch(priv2, []EncapsulatedKey{nil})
+			return errs[0]
+		}},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: cross-params call succeeded, want error", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrParamsMismatch) {
+			t.Errorf("%s: error %q does not wrap ErrParamsMismatch", c.name, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"ringlwe"
+)
+
+// The load helpers auto-detect self-describing blobs and fall back to the
+// -params set for legacy ones, for both parameter sets.
+func TestLoadAutoDetect(t *testing.T) {
+	for seed, p := range map[uint64]*ringlwe.Params{501: ringlwe.P1(), 502: ringlwe.P2()} {
+		s := ringlwe.NewDeterministic(p, seed)
+		pk, sk, err := s.GenerateKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := s.Encrypt(pk, make([]byte, p.MessageSize()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Self-describing blobs need no fallback.
+		pkBlob, err := pk.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPK, err := loadPublicKey(pkBlob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotPK.Params().Name() != p.Name() || !bytes.Equal(gotPK.Bytes(), pk.Bytes()) {
+			t.Fatalf("%s: public key auto-detect mismatch", p.Name())
+		}
+		skBlob, err := sk.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadPrivateKey(skBlob, nil); err != nil {
+			t.Fatal(err)
+		}
+		ctBlob, err := ct.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCT, err := loadCiphertext(ctBlob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCT.Params().Name() != p.Name() {
+			t.Fatalf("%s: ciphertext auto-detect mismatch", p.Name())
+		}
+
+		// Legacy blobs require the fallback and reject its absence.
+		if _, err := loadPublicKey(pk.Bytes(), nil); err == nil {
+			t.Fatal("legacy public key accepted without -params")
+		}
+		gotLegacy, err := loadPublicKey(pk.Bytes(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotLegacy.Bytes(), pk.Bytes()) {
+			t.Fatalf("%s: legacy public key fallback mismatch", p.Name())
+		}
+		if _, err := loadPrivateKey(sk.Bytes(), p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadCiphertext(ct.Bytes(), nil); err == nil {
+			t.Fatal("legacy ciphertext accepted without -params")
+		}
+		if _, err := loadCiphertext(ct.Bytes(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLookupParams(t *testing.T) {
+	if p, err := lookupParams(""); err != nil || p != nil {
+		t.Fatalf("empty flag: %v, %v", p, err)
+	}
+	if p, err := lookupParams("p2"); err != nil || p.Name() != "P2" {
+		t.Fatalf("case-insensitive lookup failed: %v, %v", p, err)
+	}
+	if _, err := lookupParams("P9"); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	rlwe-keytool keygen  -params P1 -pub pub.hex -priv priv.hex
-//	rlwe-keytool encrypt -params P1 -pub pub.hex -in msg.bin -out ct.hex
-//	rlwe-keytool decrypt -params P1 -priv priv.hex -in ct.hex -out msg.bin
+//	rlwe-keytool encrypt -pub pub.hex -in msg.bin -out ct.hex
+//	rlwe-keytool decrypt -priv priv.hex -in ct.hex -out msg.bin
 //
-// Messages must be exactly MessageSize bytes (32 for P1, 64 for P2); the
-// encrypt command zero-pads shorter inputs and records the true length in
-// the first byte, so round trips preserve content up to MessageSize-1
-// bytes.
+// Keys and ciphertexts are written in the self-describing wire format, so
+// encrypt and decrypt recover the parameter set from the file itself —
+// -params only chooses the set at keygen. Legacy fixed-format files (from
+// older versions of this tool) are still accepted when -params names
+// their set.
+//
+// Messages must be at most MessageSize-1 bytes (31 for P1, 63 for P2);
+// the encrypt command zero-pads shorter inputs and records the true
+// length in the first byte, so round trips preserve content.
 package main
 
 import (
@@ -30,7 +35,7 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	paramsName := fs.String("params", "P1", "parameter set: P1 or P2")
+	paramsName := fs.String("params", "", "parameter set P1 or P2 (keygen: default P1; encrypt/decrypt: only needed for legacy-format files)")
 	pubPath := fs.String("pub", "", "public key file (hex)")
 	privPath := fs.String("priv", "", "private key file (hex)")
 	inPath := fs.String("in", "", "input file")
@@ -39,38 +44,46 @@ func main() {
 		fatal(err)
 	}
 
-	var params *ringlwe.Params
-	switch strings.ToUpper(*paramsName) {
-	case "P1":
-		params = ringlwe.P1()
-	case "P2":
-		params = ringlwe.P2()
-	default:
-		fatal(fmt.Errorf("unknown parameter set %q (have P1, P2)", *paramsName))
+	fallback, err := lookupParams(*paramsName)
+	if err != nil {
+		fatal(err)
 	}
-	scheme := ringlwe.New(params)
 
 	switch cmd {
 	case "keygen":
 		need(*pubPath != "", "-pub")
 		need(*privPath != "", "-priv")
+		params := fallback
+		if params == nil {
+			params = ringlwe.P1()
+		}
+		scheme := ringlwe.New(params)
 		pk, sk, err := scheme.GenerateKeys()
 		if err != nil {
 			fatal(err)
 		}
-		writeHex(*pubPath, pk.Bytes())
-		writeHex(*privPath, sk.Bytes())
-		fmt.Printf("wrote %s (%d B) and %s (%d B)\n",
-			*pubPath, len(pk.Bytes()), *privPath, len(sk.Bytes()))
+		pkBlob, err := pk.AppendBinary(nil)
+		if err != nil {
+			fatal(err)
+		}
+		skBlob, err := sk.AppendBinary(nil)
+		if err != nil {
+			fatal(err)
+		}
+		writeHex(*pubPath, pkBlob)
+		writeHex(*privPath, skBlob)
+		fmt.Printf("wrote %s (%d B) and %s (%d B), parameter set %s\n",
+			*pubPath, len(pkBlob), *privPath, len(skBlob), params.Name())
 
 	case "encrypt":
 		need(*pubPath != "", "-pub")
 		need(*inPath != "", "-in")
 		need(*outPath != "", "-out")
-		pk, err := ringlwe.ParsePublicKey(params, readHex(*pubPath))
+		pk, err := loadPublicKey(readHex(*pubPath), fallback)
 		if err != nil {
 			fatal(err)
 		}
+		params := pk.Params()
 		msg, err := os.ReadFile(*inPath)
 		if err != nil {
 			fatal(err)
@@ -79,23 +92,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := scheme.Encrypt(pk, framed)
+		ct, err := ringlwe.New(params).Encrypt(pk, framed)
 		if err != nil {
 			fatal(err)
 		}
-		writeHex(*outPath, ct.Bytes())
-		fmt.Printf("encrypted %d bytes → %s (%d B ciphertext)\n",
-			len(msg), *outPath, len(ct.Bytes()))
+		blob, err := ct.AppendBinary(nil)
+		if err != nil {
+			fatal(err)
+		}
+		writeHex(*outPath, blob)
+		fmt.Printf("encrypted %d bytes under %s → %s (%d B ciphertext)\n",
+			len(msg), params.Name(), *outPath, len(blob))
 
 	case "decrypt":
 		need(*privPath != "", "-priv")
 		need(*inPath != "", "-in")
 		need(*outPath != "", "-out")
-		sk, err := ringlwe.ParsePrivateKey(params, readHex(*privPath))
+		sk, err := loadPrivateKey(readHex(*privPath), fallback)
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := ringlwe.ParseCiphertext(params, readHex(*inPath))
+		ct, err := loadCiphertext(readHex(*inPath), fallback)
 		if err != nil {
 			fatal(err)
 		}
@@ -115,6 +132,65 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// lookupParams resolves the -params flag; empty means "auto-detect from
+// the file" (or P1 at keygen).
+func lookupParams(name string) (*ringlwe.Params, error) {
+	switch strings.ToUpper(name) {
+	case "":
+		return nil, nil
+	case "P1":
+		return ringlwe.P1(), nil
+	case "P2":
+		return ringlwe.P2(), nil
+	}
+	return nil, fmt.Errorf("unknown parameter set %q (have P1, P2)", name)
+}
+
+// selfDescribing reports whether data opens with the wire-format magic;
+// anything else is treated as a legacy fixed-format blob.
+func selfDescribing(data []byte) bool {
+	return len(data) >= 2 && data[0] == 'R' && data[1] == 'L'
+}
+
+// errNeedParams explains how to read a legacy file.
+func errNeedParams(what string) error {
+	return fmt.Errorf("%s is in the legacy format; pass -params P1|P2 to identify its parameter set", what)
+}
+
+// loadPublicKey parses a public key in either format: self-describing
+// blobs carry their parameter set, legacy blobs need the -params fallback.
+func loadPublicKey(data []byte, fallback *ringlwe.Params) (*ringlwe.PublicKey, error) {
+	if selfDescribing(data) {
+		return ringlwe.ParseAnyPublicKey(data)
+	}
+	if fallback == nil {
+		return nil, errNeedParams("public key")
+	}
+	return ringlwe.ParsePublicKey(fallback, data)
+}
+
+// loadPrivateKey is loadPublicKey for private keys.
+func loadPrivateKey(data []byte, fallback *ringlwe.Params) (*ringlwe.PrivateKey, error) {
+	if selfDescribing(data) {
+		return ringlwe.ParseAnyPrivateKey(data)
+	}
+	if fallback == nil {
+		return nil, errNeedParams("private key")
+	}
+	return ringlwe.ParsePrivateKey(fallback, data)
+}
+
+// loadCiphertext is loadPublicKey for ciphertexts.
+func loadCiphertext(data []byte, fallback *ringlwe.Params) (*ringlwe.Ciphertext, error) {
+	if selfDescribing(data) {
+		return ringlwe.ParseAnyCiphertext(data)
+	}
+	if fallback == nil {
+		return nil, errNeedParams("ciphertext")
+	}
+	return ringlwe.ParseCiphertext(fallback, data)
 }
 
 // frame packs msg into a fixed-size plaintext: length byte + payload + zero
@@ -173,7 +249,10 @@ func fatal(err error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rlwe-keytool keygen  -params P1|P2 -pub FILE -priv FILE
-  rlwe-keytool encrypt -params P1|P2 -pub FILE -in FILE -out FILE
-  rlwe-keytool decrypt -params P1|P2 -priv FILE -in FILE -out FILE`)
+  rlwe-keytool encrypt -pub FILE -in FILE -out FILE
+  rlwe-keytool decrypt -priv FILE -in FILE -out FILE
+
+encrypt and decrypt detect the parameter set from the key/ciphertext
+files; -params is only needed for legacy-format files.`)
 	os.Exit(2)
 }

@@ -1,0 +1,19 @@
+package ringlwe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParamsMismatch is the sentinel every cross-parameter-set error in
+// this package wraps: a key, ciphertext or buffer created under one
+// parameter set was used with a scheme, workspace or object of another.
+// Test with errors.Is; the wrapped message names the offending object.
+var ErrParamsMismatch = errors.New("ringlwe: parameter set mismatch")
+
+// paramsMismatch builds the uniform cross-parameter-set error: one
+// sentinel wrapped at every check site, with the offending object named in
+// the text so logs stay diagnosable.
+func paramsMismatch(what string) error {
+	return fmt.Errorf("%w: %s belongs to a different parameter set", ErrParamsMismatch, what)
+}

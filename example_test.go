@@ -122,6 +122,99 @@ func ExampleScheme_EncryptBatch() {
 	// Output: 8 8
 }
 
+// Depend on the narrowest capability interface: code written against
+// Encrypter works with a Scheme, a Workspace, or any future implementation
+// without change.
+func ExampleEncrypter() {
+	params := ringlwe.P1()
+	scheme := ringlwe.NewDeterministic(params, 6)
+	pub, priv, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+
+	seal := func(e ringlwe.Encrypter, msg []byte) *ringlwe.Ciphertext {
+		ct, err := e.Encrypt(pub, msg)
+		if err != nil {
+			panic(err)
+		}
+		return ct
+	}
+	msg := make([]byte, params.MessageSize())
+	copy(msg, "capability interfaces")
+
+	viaScheme := seal(scheme, msg)                   // one-shot path
+	viaWorkspace := seal(scheme.NewWorkspace(), msg) // per-goroutine path
+
+	a, _ := priv.Decrypt(viaScheme)
+	b, _ := priv.Decrypt(viaWorkspace)
+	fmt.Println(bytes.Equal(a, msg), bytes.Equal(b, msg))
+	// Output: true true
+}
+
+// The KEM interface is the recommended transport for session keys: both
+// the Scheme and a Workspace satisfy it.
+func ExampleKEM() {
+	scheme := ringlwe.NewDeterministic(ringlwe.P1(), 7)
+	pub, priv, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+
+	var kem ringlwe.KEM = scheme
+	for {
+		blob, senderKey, err := kem.Encapsulate(pub)
+		if err != nil {
+			panic(err)
+		}
+		receiverKey, err := kem.Decapsulate(priv, blob)
+		if errors.Is(err, ringlwe.ErrDecapsulation) {
+			continue // intrinsic failure: encapsulate again
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(senderKey == receiverKey)
+		break
+	}
+	// Output: true
+}
+
+// Self-describing blobs carry their parameter set: the receiver needs no
+// out-of-band agreement on P1 vs P2.
+func ExampleParseAnyCiphertext() {
+	params := ringlwe.P2()
+	scheme := ringlwe.NewDeterministic(params, 8)
+	pub, _, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+	ct, err := scheme.Encrypt(pub, make([]byte, params.MessageSize()))
+	if err != nil {
+		panic(err)
+	}
+
+	blob, err := ct.MarshalBinary() // versioned header + packed body
+	if err != nil {
+		panic(err)
+	}
+	back, err := ringlwe.ParseAnyCiphertext(blob) // no params argument
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.Params().Name(), bytes.Equal(back.Bytes(), ct.Bytes()))
+	// Output: P2 true
+}
+
+// Profiles bundle backend choices; the resolved configuration is
+// inspectable and round-trips through WithProfile.
+func ExampleScheme_Profile() {
+	scheme := ringlwe.New(ringlwe.P1(), ringlwe.ConstantTime())
+	p := scheme.Profile()
+	fmt.Println(p.Name(), p.Engine, p.Sampler, p.ConstantTimeDecode)
+	// Output: constant-time shoup cdt true
+}
+
 // Keys and ciphertexts serialize to fixed-size blobs.
 func ExamplePublicKey_Bytes() {
 	params := ringlwe.P2()

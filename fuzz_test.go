@@ -55,6 +55,74 @@ func FuzzParsePublicKey(f *testing.F) {
 	})
 }
 
+// FuzzParseAny drives the self-describing parsers: header truncation,
+// unknown params IDs, kind confusion and trailing bytes must all surface
+// as errors, and anything accepted must round-trip bit-identically
+// through MarshalBinary.
+func FuzzParseAny(f *testing.F) {
+	s1 := NewDeterministic(P1(), 9004)
+	s2 := NewDeterministic(P2(), 9005)
+	for _, s := range []*Scheme{s1, s2} {
+		pk, sk, err := s.GenerateKeys()
+		if err != nil {
+			f.Fatal(err)
+		}
+		ct, err := s.Encrypt(pk, make([]byte, s.Params().MessageSize()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, obj := range []interface {
+			MarshalBinary() ([]byte, error)
+		}{pk, sk, ct} {
+			blob, err := obj.MarshalBinary()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(blob)
+			f.Add(blob[:4])           // header truncation
+			f.Add(append(blob, 0xAA)) // trailing byte
+		}
+		blob, _, err := s.Encapsulate(pk)
+		if err != nil {
+			f.Fatal(err)
+		}
+		wire, err := blob.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	unknown := []byte{'R', 'L', 2, 3, 0xBE, 0xEF} // unknown params ID
+	f.Add(unknown)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if pk, err := ParseAnyPublicKey(data); err == nil {
+			re, err := pk.MarshalBinary()
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatalf("accepted public key does not round-trip (err=%v)", err)
+			}
+		}
+		if sk, err := ParseAnyPrivateKey(data); err == nil {
+			re, err := sk.MarshalBinary()
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatalf("accepted private key does not round-trip (err=%v)", err)
+			}
+		}
+		if ct, err := ParseAnyCiphertext(data); err == nil {
+			re, err := ct.MarshalBinary()
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatalf("accepted ciphertext does not round-trip (err=%v)", err)
+			}
+		}
+		if _, ek, err := ParseAnyEncapsulatedKey(data); err == nil {
+			re, err := ek.MarshalBinary()
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatalf("accepted encapsulated key does not round-trip (err=%v)", err)
+			}
+		}
+	})
+}
+
 func FuzzDecapsulate(f *testing.F) {
 	p := P1()
 	s := NewDeterministic(p, 9003)

@@ -34,6 +34,18 @@ func EncodeConstantTime(p *Params, msg []byte) (ntt.Poly, error) {
 // threshold test q/4 < c < 3q/4 becomes two borrow extractions.
 func DecodeConstantTime(p *Params, m ntt.Poly) []byte {
 	out := make([]byte, p.MessageBytes())
+	DecodeConstantTimeInto(out, p, m)
+	return out
+}
+
+// DecodeConstantTimeInto is DecodeConstantTime writing into a caller-owned
+// MessageBytes buffer, allocating nothing — the decoder the ConstantTime
+// profile's workspaces run, so the hardened decrypt path stays at zero
+// allocations like the branching one.
+func DecodeConstantTimeInto(dst []byte, p *Params, m ntt.Poly) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	q := uint64(p.Q)
 	for i := 0; i < p.N; i++ {
 		c4 := 4 * uint64(m[i])
@@ -43,9 +55,37 @@ func DecodeConstantTime(p *Params, m ntt.Poly) []byte {
 		gtLo := (q - c4 - 1) >> 63 // borrow of q - 4c
 		gtHi := (3*q - c4 - 1) >> 63
 		bit := byte(gtLo &^ gtHi)
-		out[i/8] |= bit << (i % 8)
+		dst[i/8] |= bit << (i % 8)
 	}
-	return out
+}
+
+// AddEncodedConstantTime is the encrypt-side counterpart of the hardened
+// decoder: addEncoded (the Encode step fused into the e3 error polynomial)
+// with the message bit selecting 0 or ⌊q/2⌋ through a mask and the mod-q
+// reduction done by borrow extraction instead of a comparison, so no
+// plaintext bit steers a branch or a memory index.
+func AddEncodedConstantTime(p *Params, dst ntt.Poly, msg []byte) {
+	half := p.Q / 2
+	q := uint64(p.Q)
+	for i := 0; i < p.N; i++ {
+		bit := uint32(msg[i/8]>>(i%8)) & 1
+		s := uint64(dst[i]) + uint64(half&-bit)
+		// Reduce s into [0, q): subtract q when s ≥ q, branchlessly.
+		// ge = 1 iff s ≥ q (s < 2q here, so one conditional subtract).
+		ge := 1 - (s-q)>>63
+		dst[i] = uint32(s - q*ge)
+	}
+}
+
+// DecryptConstantTime is PrivateKey.Decrypt with the branchless decoder —
+// the one-shot path of the ConstantTime profile (the zero-allocation
+// workspace path selects the decoder via the scheme's options instead).
+func (sk *PrivateKey) DecryptConstantTime(ct *Ciphertext) ([]byte, error) {
+	m, err := sk.DecryptToPoly(ct)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeConstantTime(sk.Params, m), nil
 }
 
 func errMessageSize(p *Params, got int) error {

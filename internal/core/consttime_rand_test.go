@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/rng"
+)
+
+// randPoly fills a polynomial with uniform coefficients in [0, q).
+func randPoly(src rng.Source, p *Params, dst ntt.Poly) {
+	for i := range dst {
+		for {
+			v := src.Uint32() & ((1 << p.CoeffBits()) - 1)
+			if v < p.Q {
+				dst[i] = v
+				break
+			}
+		}
+	}
+}
+
+// Differential test over full random polynomials: the branchless decoder
+// (the one the ConstantTime profile's workspaces run) agrees with the
+// branching decoder on uniformly random inputs, not just the structured
+// windows of the exhaustive test.
+func TestDecodeConstantTimeIntoDifferential(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		src := rng.NewXorshift128(4001)
+		poly := make(ntt.Poly, p.N)
+		branchy := make([]byte, p.MessageBytes())
+		branchless := make([]byte, p.MessageBytes())
+		for trial := 0; trial < 200; trial++ {
+			randPoly(src, p, poly)
+			DecodeInto(branchy, p, poly)
+			DecodeConstantTimeInto(branchless, p, poly)
+			if !bytes.Equal(branchy, branchless) {
+				t.Fatalf("%s: decoders disagree on random poly (trial %d)", p.Name, trial)
+			}
+		}
+	}
+}
+
+// The branchless fused encode-add agrees with the branching addEncoded on
+// random error polynomials and random messages.
+func TestAddEncodedConstantTimeDifferential(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		src := rng.NewXorshift128(4002)
+		a := make(ntt.Poly, p.N)
+		b := make(ntt.Poly, p.N)
+		for trial := 0; trial < 200; trial++ {
+			randPoly(src, p, a)
+			copy(b, a)
+			msg := randMessage(src, p.MessageBytes())
+			addEncoded(p, a, msg)
+			AddEncodedConstantTime(p, b, msg)
+			if !equalPoly(a, b) {
+				t.Fatalf("%s: encode-adds disagree on random input (trial %d)", p.Name, trial)
+			}
+		}
+	}
+}
+
+// DecodeConstantTimeInto is allocation-free, like DecodeInto — the
+// property that keeps the ConstantTime profile's decrypt path at zero
+// allocations.
+func TestDecodeConstantTimeIntoZeroAlloc(t *testing.T) {
+	p := P1()
+	src := rng.NewXorshift128(4003)
+	poly := make(ntt.Poly, p.N)
+	randPoly(src, p, poly)
+	dst := make([]byte, p.MessageBytes())
+	if n := testing.AllocsPerRun(100, func() {
+		DecodeConstantTimeInto(dst, p, poly)
+	}); n != 0 {
+		t.Errorf("DecodeConstantTimeInto allocates %v objects/op, want 0", n)
+	}
+}

@@ -66,6 +66,12 @@ type Scheme struct {
 	// others produce different (equally distributed) error polynomials.
 	smp string
 
+	// ctDecode selects the branchless message codec (DecodeConstantTimeInto
+	// and AddEncodedConstantTime) on every encrypt/decrypt path of this
+	// scheme. The codecs agree bit for bit with the branching ones, so this
+	// never changes results — only whether plaintext bits steer branches.
+	ctDecode bool
+
 	// src is the base randomness source behind a mutex: the one-shot path
 	// draws from it and workspace forking may consume its state, possibly
 	// from different goroutines.
@@ -102,11 +108,36 @@ func NewWithEngine(params *Params, src rng.Source, engine string) (*Scheme, erro
 // samplers yield different — equally valid and equally distributed —
 // keys and ciphertexts from the same seed.
 func NewWithEngines(params *Params, src rng.Source, engine, smp string) (*Scheme, error) {
-	eng, err := ntt.NewEngine(engine, params.Tables)
+	return NewWithOptions(params, src, Options{Engine: engine, Sampler: smp})
+}
+
+// Options is the resolved construction configuration of a Scheme: both
+// pluggable backend names plus the orthogonal hardening switches. It is
+// the seam the public security profiles compile down to.
+type Options struct {
+	// Engine is the NTT backend registry name (ntt.EngineNames).
+	Engine string
+	// Sampler is the Gaussian sampler backend registry name (sampler.Names).
+	Sampler string
+	// ConstantTimeDecode routes every message encode/decode through the
+	// branchless codecs of consttime.go. Bit-identical to the branching
+	// codecs on all inputs.
+	ConstantTimeDecode bool
+}
+
+// NewWithOptions is New with the full option set resolved by the caller.
+func NewWithOptions(params *Params, src rng.Source, opts Options) (*Scheme, error) {
+	eng, err := ntt.NewEngine(opts.Engine, params.Tables)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	s := &Scheme{Params: params, eng: eng, smp: smp, src: rng.NewLockedSource(src)}
+	s := &Scheme{
+		Params:   params,
+		eng:      eng,
+		smp:      opts.Sampler,
+		ctDecode: opts.ConstantTimeDecode,
+		src:      rng.NewLockedSource(src),
+	}
 	def, err := newWorkspace(s, s.src)
 	if err != nil {
 		return nil, err
@@ -129,6 +160,10 @@ func (s *Scheme) Engine() string { return s.eng.Name() }
 // Sampler returns the registry name of the Gaussian sampler backend this
 // scheme's workspaces draw error polynomials from.
 func (s *Scheme) Sampler() string { return s.smp }
+
+// ConstantTimeDecode reports whether this scheme routes message encoding
+// and decoding through the branchless constant-time codecs.
+func (s *Scheme) ConstantTimeDecode() bool { return s.ctDecode }
 
 // NewWorkspace forks an independent per-goroutine workspace off the
 // scheme's base randomness source. Safe to call concurrently with any

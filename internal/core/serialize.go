@@ -11,6 +11,15 @@ import (
 // observation that coefficients fit in half words. A one-byte header tags
 // the parameter set so mismatches fail loudly instead of decrypting noise.
 
+// LegacyTag returns the one-byte parameter tag the legacy tagged format
+// (Bytes/Parse*) opens with: 1 for P1, 2 for P2, 0 for custom sets. The
+// self-describing wire format frames the same bodies with a richer header;
+// higher layers use this tag to recognise legacy blobs.
+func LegacyTag(p *Params) byte {
+	t, _ := paramTag(p)
+	return t
+}
+
 // paramTag returns the stable wire identifier of a parameter set.
 func paramTag(p *Params) (byte, error) {
 	switch {
@@ -22,6 +31,36 @@ func paramTag(p *Params) (byte, error) {
 		// Custom sets serialize with tag 0; the caller must know the params.
 		return 0, nil
 	}
+}
+
+// growZero extends dst by n zeroed bytes, returning the grown slice and the
+// tail to pack into. The append-style serializers build on it so one
+// AppendTo call performs at most one allocation (none when dst has
+// capacity) — the zero-copy seam the public encoding.BinaryAppender
+// implementations ride.
+func growZero(dst []byte, n int) (grown, tail []byte) {
+	total := len(dst) + n
+	if cap(dst) < total {
+		g := make([]byte, total)
+		copy(g, dst)
+		return g, g[len(dst):]
+	}
+	grown = dst[:total]
+	tail = grown[len(dst):]
+	for i := range tail {
+		tail[i] = 0
+	}
+	return grown, tail
+}
+
+// appendPolys appends the packed concatenation of polys to dst.
+func appendPolys(dst []byte, p *Params, polys ...ntt.Poly) []byte {
+	pb := p.PolyBytes()
+	dst, tail := growZero(dst, len(polys)*pb)
+	for i, poly := range polys {
+		packPoly(tail[i*pb:(i+1)*pb], poly, p.CoeffBits())
+	}
+	return dst
 }
 
 func packPoly(dst []byte, p ntt.Poly, width uint) {
@@ -54,27 +93,33 @@ func unpackPolyInto(dst ntt.Poly, src []byte, width uint) {
 	}
 }
 
-// Bytes serializes the public key as tag ‖ pack(ã) ‖ pack(p̃).
-func (pk *PublicKey) Bytes() []byte {
-	p := pk.Params
-	tag, _ := paramTag(p)
-	out := make([]byte, 1+2*p.PolyBytes())
-	out[0] = tag
-	packPoly(out[1:1+p.PolyBytes()], pk.A, p.CoeffBits())
-	packPoly(out[1+p.PolyBytes():], pk.P, p.CoeffBits())
-	return out
+// AppendTo appends the packed body ã ‖ p̃ — no parameter tag — to dst and
+// returns the extended slice. The body is what the self-describing wire
+// format frames with its own header; the legacy tagged format is the same
+// body behind a one-byte tag.
+func (pk *PublicKey) AppendTo(dst []byte) []byte {
+	return appendPolys(dst, pk.Params, pk.A, pk.P)
 }
 
-// ParsePublicKey reverses PublicKey.Bytes under the given parameters.
-func ParsePublicKey(p *Params, data []byte) (*PublicKey, error) {
-	if err := checkBlob(p, data, 2); err != nil {
-		return nil, fmt.Errorf("core: public key: %w", err)
-	}
+// Bytes serializes the public key as tag ‖ pack(ã) ‖ pack(p̃).
+func (pk *PublicKey) Bytes() []byte {
+	tag, _ := paramTag(pk.Params)
+	out := make([]byte, 1, 1+2*pk.Params.PolyBytes())
+	out[0] = tag
+	return pk.AppendTo(out)
+}
+
+// ParsePublicKeyBody reverses AppendTo: it parses a bare packed body of
+// exactly 2·PolyBytes under the given parameters.
+func ParsePublicKeyBody(p *Params, body []byte) (*PublicKey, error) {
 	pb := p.PolyBytes()
+	if len(body) != 2*pb {
+		return nil, fmt.Errorf("core: public key: body is %d bytes, want %d", len(body), 2*pb)
+	}
 	pk := &PublicKey{
 		Params: p,
-		A:      unpackPoly(data[1:1+pb], p.N, p.CoeffBits()),
-		P:      unpackPoly(data[1+pb:], p.N, p.CoeffBits()),
+		A:      unpackPoly(body[:pb], p.N, p.CoeffBits()),
+		P:      unpackPoly(body[pb:], p.N, p.CoeffBits()),
 	}
 	if err := checkRange(p, pk.A, pk.P); err != nil {
 		return nil, fmt.Errorf("core: public key: %w", err)
@@ -82,14 +127,38 @@ func ParsePublicKey(p *Params, data []byte) (*PublicKey, error) {
 	return pk, nil
 }
 
+// ParsePublicKey reverses PublicKey.Bytes under the given parameters.
+func ParsePublicKey(p *Params, data []byte) (*PublicKey, error) {
+	if err := checkBlob(p, data, 2); err != nil {
+		return nil, fmt.Errorf("core: public key: %w", err)
+	}
+	return ParsePublicKeyBody(p, data[1:])
+}
+
+// AppendTo appends the packed body pack(r̃2) — no parameter tag — to dst.
+func (sk *PrivateKey) AppendTo(dst []byte) []byte {
+	return appendPolys(dst, sk.Params, sk.R2)
+}
+
 // Bytes serializes the private key as tag ‖ pack(r̃2).
 func (sk *PrivateKey) Bytes() []byte {
-	p := sk.Params
-	tag, _ := paramTag(p)
-	out := make([]byte, 1+p.PolyBytes())
+	tag, _ := paramTag(sk.Params)
+	out := make([]byte, 1, 1+sk.Params.PolyBytes())
 	out[0] = tag
-	packPoly(out[1:], sk.R2, p.CoeffBits())
-	return out
+	return sk.AppendTo(out)
+}
+
+// ParsePrivateKeyBody reverses AppendTo: it parses a bare packed body of
+// exactly PolyBytes under the given parameters.
+func ParsePrivateKeyBody(p *Params, body []byte) (*PrivateKey, error) {
+	if len(body) != p.PolyBytes() {
+		return nil, fmt.Errorf("core: private key: body is %d bytes, want %d", len(body), p.PolyBytes())
+	}
+	sk := &PrivateKey{Params: p, R2: unpackPoly(body, p.N, p.CoeffBits())}
+	if err := checkRange(p, sk.R2); err != nil {
+		return nil, fmt.Errorf("core: private key: %w", err)
+	}
+	return sk, nil
 }
 
 // ParsePrivateKey reverses PrivateKey.Bytes under the given parameters.
@@ -97,11 +166,12 @@ func ParsePrivateKey(p *Params, data []byte) (*PrivateKey, error) {
 	if err := checkBlob(p, data, 1); err != nil {
 		return nil, fmt.Errorf("core: private key: %w", err)
 	}
-	sk := &PrivateKey{Params: p, R2: unpackPoly(data[1:], p.N, p.CoeffBits())}
-	if err := checkRange(p, sk.R2); err != nil {
-		return nil, fmt.Errorf("core: private key: %w", err)
-	}
-	return sk, nil
+	return ParsePrivateKeyBody(p, data[1:])
+}
+
+// AppendTo appends the packed body c̃1 ‖ c̃2 — no parameter tag — to dst.
+func (ct *Ciphertext) AppendTo(dst []byte) []byte {
+	return appendPolys(dst, ct.Params, ct.C1, ct.C2)
 }
 
 // Bytes serializes the ciphertext as tag ‖ pack(c̃1) ‖ pack(c̃2).
@@ -142,17 +212,27 @@ func ParseCiphertext(p *Params, data []byte) (*Ciphertext, error) {
 // (see NewCiphertext), allocating nothing. On error the ciphertext's
 // contents are unspecified.
 func ParseCiphertextInto(ct *Ciphertext, data []byte) error {
+	if err := checkBlob(ct.Params, data, 2); err != nil {
+		return fmt.Errorf("core: ciphertext: %w", err)
+	}
+	return ParseCiphertextBodyInto(ct, data[1:])
+}
+
+// ParseCiphertextBodyInto reverses AppendTo into a preallocated ciphertext:
+// it parses a bare packed body of exactly 2·PolyBytes, allocating nothing.
+// On error the ciphertext's contents are unspecified.
+func ParseCiphertextBodyInto(ct *Ciphertext, body []byte) error {
 	p := ct.Params
 	if len(ct.C1) != p.N || len(ct.C2) != p.N {
 		return fmt.Errorf("core: ciphertext: buffers hold %d/%d coefficients, want %d (use NewCiphertext)",
 			len(ct.C1), len(ct.C2), p.N)
 	}
-	if err := checkBlob(p, data, 2); err != nil {
-		return fmt.Errorf("core: ciphertext: %w", err)
-	}
 	pb := p.PolyBytes()
-	unpackPolyInto(ct.C1, data[1:1+pb], p.CoeffBits())
-	unpackPolyInto(ct.C2, data[1+pb:], p.CoeffBits())
+	if len(body) != 2*pb {
+		return fmt.Errorf("core: ciphertext: body is %d bytes, want %d", len(body), 2*pb)
+	}
+	unpackPolyInto(ct.C1, body[:pb], p.CoeffBits())
+	unpackPolyInto(ct.C2, body[pb:], p.CoeffBits())
 	if err := checkRange(p, ct.C1, ct.C2); err != nil {
 		return fmt.Errorf("core: ciphertext: %w", err)
 	}

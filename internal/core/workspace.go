@@ -193,7 +193,13 @@ func (w *Workspace) EncryptInto(ct *Ciphertext, pk *PublicKey, msg []byte) error
 	w.errorPolyInto(w.e1)
 	w.errorPolyInto(w.e2)
 	w.errorPolyInto(w.e3)
-	addEncoded(p, w.e3, msg) // e3 + m̄ in the normal domain
+	// e3 + m̄ in the normal domain; the branch is on the scheme's
+	// configuration, never on message bits.
+	if w.scheme.ctDecode {
+		AddEncodedConstantTime(p, w.e3, msg)
+	} else {
+		addEncoded(p, w.e3, msg)
+	}
 	// The three forward transforms of one encryption, fused exactly as the
 	// paper's parallel NTT (and the instrumented Cortex-M4F model) fuses
 	// them — through the generalized batch transform over the
@@ -239,6 +245,10 @@ func (w *Workspace) DecryptInto(dst []byte, sk *PrivateKey, ct *Ciphertext) erro
 	eng.PointwiseMul(m, ct.C1, sk.R2)
 	t.Add(m, m, ct.C2)
 	eng.Inverse(m)
-	DecodeInto(dst, p, m)
+	if w.scheme.ctDecode {
+		DecodeConstantTimeInto(dst, p, m)
+	} else {
+		DecodeInto(dst, p, m)
+	}
 	return nil
 }

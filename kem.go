@@ -92,10 +92,5 @@ func (s *Scheme) Decapsulate(sk *PrivateKey, blob EncapsulatedKey) ([SharedKeySi
 	return kemKey(seed), nil
 }
 
-// fillRandom draws bytes from the scheme's randomness source via the
-// uniform pool (16 bits at a time; the byte layout lives in
-// core.Workspace.FillRandom, shared with the workspace KEM path).
-func (s *Scheme) fillRandom(out []byte) { s.inner.FillRandom(out) }
-
 // EncapsulationSize returns the wire size of an encapsulation blob.
 func (p *Params) EncapsulationSize() int { return p.CiphertextSize() + confirmTagSize }

@@ -3,7 +3,6 @@ package ringlwe
 import (
 	"crypto/sha256"
 	"crypto/subtle"
-	"fmt"
 
 	"ringlwe/internal/core"
 	"ringlwe/internal/rng"
@@ -93,7 +92,7 @@ func ccaKey(label string, secret, ctDigest []byte) [SharedKeySize]byte {
 func (s *Scheme) EncapsulateCCA(pk *PublicKey) ([]byte, [SharedKeySize]byte, error) {
 	var zero [SharedKeySize]byte
 	if pk.params.inner != s.params.inner {
-		return nil, zero, fmt.Errorf("ringlwe: public key belongs to a different parameter set")
+		return nil, zero, paramsMismatch("public key")
 	}
 	m := make([]byte, s.params.MessageSize())
 	s.fillRandom(m)
@@ -114,7 +113,7 @@ func (s *Scheme) EncapsulateCCA(pk *PublicKey) ([]byte, [SharedKeySize]byte, err
 func (s *Scheme) DecapsulateCCA(kp *CCAKeyPair, blob []byte) ([SharedKeySize]byte, error) {
 	var zero [SharedKeySize]byte
 	if kp.Public.params.inner != s.params.inner {
-		return zero, fmt.Errorf("ringlwe: key pair belongs to a different parameter set")
+		return zero, paramsMismatch("key pair")
 	}
 	ct, err := ParseCiphertext(s.params, blob)
 	if err != nil {

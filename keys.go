@@ -1,0 +1,36 @@
+package ringlwe
+
+import "ringlwe/internal/core"
+
+// PublicKey is a ring-LWE public key (ã, p̃).
+type PublicKey struct {
+	params *Params
+	inner  *core.PublicKey
+}
+
+// PrivateKey is a ring-LWE private key r̃2.
+type PrivateKey struct {
+	params *Params
+	inner  *core.PrivateKey
+}
+
+// Ciphertext is a ring-LWE ciphertext (c̃1, c̃2).
+type Ciphertext struct {
+	params *Params
+	inner  *core.Ciphertext
+}
+
+// NewCiphertext returns a zero ciphertext with preallocated buffers, the
+// reusable destination for Workspace.EncryptInto.
+func NewCiphertext(p *Params) *Ciphertext {
+	return &Ciphertext{params: p, inner: core.NewCiphertext(p.inner)}
+}
+
+// Params returns the key's parameter set.
+func (pk *PublicKey) Params() *Params { return pk.params }
+
+// Params returns the key's parameter set.
+func (sk *PrivateKey) Params() *Params { return sk.params }
+
+// Params returns the ciphertext's parameter set.
+func (ct *Ciphertext) Params() *Params { return ct.params }

@@ -19,21 +19,31 @@
 //	ct, err := scheme.Encrypt(pub, msg)
 //	msg, err := scheme.Decrypt(priv, ct)
 //
+// The API is organized in three layers (API v2):
+//
+//   - Capability interfaces (Encrypter, Decrypter, KEM, AuthKEM and the
+//     batch variants) name each operation family; *Scheme implements all
+//     of them and *Workspace the per-goroutine subset, so consumers can
+//     depend on the narrowest surface they need.
+//   - Security profiles compose a Scheme's backends: Fast (throughput),
+//     Reference (the KAT-pinned paper pipeline) and ConstantTime (fully
+//     data-oblivious encrypt/decrypt), refined by the orthogonal options
+//     WithEngine, WithSampler, WithConstantTimeDecode and WithRandom;
+//     Scheme.Profile reports the resolved configuration.
+//   - A self-describing wire format: keys, ciphertexts and encapsulation
+//     blobs implement encoding.BinaryMarshaler/BinaryAppender/
+//     BinaryUnmarshaler with a versioned header carrying a registered
+//     parameter-set ID, so ParseAnyPublicKey/ParseAnyCiphertext recover
+//     the parameter set from the blob itself. The legacy fixed-size
+//     Bytes/Parse* format remains supported.
+//
 // This package is the reproduction of a research artifact: it is suitable
 // for experimentation and benchmarking, not for protecting production
-// traffic (the parameters predate the NIST PQC standardization, and
-// decryption is not constant time).
+// traffic (the parameters predate the NIST PQC standardization).
 package ringlwe
 
 import (
-	"errors"
-	"fmt"
-	"sync"
-
 	"ringlwe/internal/core"
-	"ringlwe/internal/ntt"
-	"ringlwe/internal/rng"
-	"ringlwe/internal/sampler"
 )
 
 // Params identifies a parameter set. Obtain instances from P1, P2 or
@@ -53,7 +63,8 @@ func P2() *Params { return &Params{inner: core.P2()} }
 // Custom builds a non-standard parameter set: n must be a power of two
 // multiple of 8, q a prime with q ≡ 1 (mod 2n), and sNum/sDen the Gaussian
 // parameter s = σ√(2π) as a rational. Intended for experiments; the two
-// standard sets should be preferred.
+// standard sets should be preferred. To serialize Custom-set objects in
+// the self-describing wire format, claim an ID with RegisterParams.
 func Custom(name string, n int, q uint32, sNum, sDen int64) (*Params, error) {
 	p, err := core.NewParams(name, n, q, sNum, sDen, 90)
 	if err != nil {
@@ -77,234 +88,21 @@ func (p *Params) Sigma() float64 { return p.inner.Sigma }
 // MessageSize returns the plaintext length in bytes.
 func (p *Params) MessageSize() int { return p.inner.MessageBytes() }
 
-// CiphertextSize returns the serialized ciphertext length in bytes.
+// CiphertextSize returns the serialized ciphertext length in bytes
+// (legacy tagged format; the self-describing format adds wireHeaderSize−1
+// bytes of header).
 func (p *Params) CiphertextSize() int { return 1 + 2*p.inner.PolyBytes() }
 
-// PublicKeySize returns the serialized public key length in bytes.
+// PublicKeySize returns the serialized public key length in bytes (legacy
+// tagged format).
 func (p *Params) PublicKeySize() int { return 1 + 2*p.inner.PolyBytes() }
 
-// PrivateKeySize returns the serialized private key length in bytes.
+// PrivateKeySize returns the serialized private key length in bytes
+// (legacy tagged format).
 func (p *Params) PrivateKeySize() int { return 1 + p.inner.PolyBytes() }
 
 // FailureRate returns the analytic decryption-failure estimate
 // (per-coefficient, per-message).
 func (p *Params) FailureRate() (perBit, perMessage float64) {
 	return p.inner.EstimateFailureRate()
-}
-
-// PublicKey is a ring-LWE public key (ã, p̃).
-type PublicKey struct {
-	params *Params
-	inner  *core.PublicKey
-}
-
-// PrivateKey is a ring-LWE private key r̃2.
-type PrivateKey struct {
-	params *Params
-	inner  *core.PrivateKey
-}
-
-// Ciphertext is a ring-LWE ciphertext (c̃1, c̃2).
-type Ciphertext struct {
-	params *Params
-	inner  *core.Ciphertext
-}
-
-// NewCiphertext returns a zero ciphertext with preallocated buffers, the
-// reusable destination for Workspace.EncryptInto.
-func NewCiphertext(p *Params) *Ciphertext {
-	return &Ciphertext{params: p, inner: core.NewCiphertext(p.inner)}
-}
-
-// Scheme is an encryption context bound to one randomness source. The
-// one-shot methods (GenerateKeys, Encrypt, Encapsulate, …) run on an
-// internal workspace and are NOT safe for concurrent use — they preserve
-// the deterministic single-stream behaviour the known-answer tests pin.
-// For concurrent traffic, give each goroutine its own Workspace (see
-// NewWorkspace and AcquireWorkspace) or use the batch methods
-// (EncryptBatch, EncapsulateBatch, …), which drive a bounded worker pool
-// of pooled workspaces internally. Params may always be shared.
-type Scheme struct {
-	params *Params
-	inner  *core.Scheme
-	pool   sync.Pool // *Workspace, backing AcquireWorkspace
-}
-
-// Option configures optional Scheme behaviour at construction.
-type Option func(*schemeConfig)
-
-type schemeConfig struct {
-	engine  string
-	sampler string
-}
-
-// WithEngine selects the NTT backend the scheme's transforms run through,
-// by registry name (see Engines). Every backend computes bit-identical
-// results — the known-answer vectors hold under all of them — so this is
-// purely a speed/footprint knob: "shoup" (the default) is the
-// Shoup-multiplied lazy-reduction kernel, "barrett" the generic reference
-// path, and "packed" the paper's two-coefficients-per-word layout (which
-// allocates per transform; it exists for study, not throughput).
-// Construction panics if the name is not registered.
-func WithEngine(name string) Option {
-	return func(c *schemeConfig) { c.engine = name }
-}
-
-// Engines lists the registered NTT backend names accepted by WithEngine.
-func Engines() []string { return ntt.EngineNames() }
-
-// WithSampler selects the discrete-Gaussian sampler backend the scheme's
-// workspaces draw error polynomials from, by registry name (see Samplers).
-// All backends target the identical distribution, but they spend
-// randomness differently, so only the default "knuth-yao" — the paper's
-// serial LUT sampler, the one the known-answer vectors pin — reproduces
-// historical deterministic streams; "batched-ky" trades that for ≈6×
-// sampling throughput via 64-bit batched LUT probes, and "cdt" trades it
-// for a fixed-shape constant-time inversion. Ciphertexts sampled under any
-// backend interoperate freely (decryption consumes no randomness).
-// Construction panics if the name is not registered.
-func WithSampler(name string) Option {
-	return func(c *schemeConfig) { c.sampler = name }
-}
-
-// Samplers lists the registered Gaussian sampler backend names accepted by
-// WithSampler.
-func Samplers() []string { return sampler.Names() }
-
-func applyOptions(opts []Option) schemeConfig {
-	c := schemeConfig{engine: ntt.DefaultEngine, sampler: sampler.Default}
-	for _, o := range opts {
-		o(&c)
-	}
-	return c
-}
-
-// New returns a Scheme drawing randomness from the operating system CSPRNG
-// (crypto/rand).
-func New(p *Params, opts ...Option) *Scheme {
-	c := applyOptions(opts)
-	s, err := core.NewWithEngines(p.inner, rng.NewCryptoSource(), c.engine, c.sampler)
-	if err != nil {
-		// Construction over validated Params fails only for an unknown or
-		// incompatible backend name.
-		panic("ringlwe: " + err.Error())
-	}
-	return newScheme(p, s)
-}
-
-// NewDeterministic returns a Scheme with a seeded deterministic generator —
-// reproducible, NOT secure. For tests, benchmarks and simulations only.
-// Workspaces forked from a deterministic Scheme are themselves
-// deterministic (fork order matters, per-workspace streams do not race).
-// Engine choice (WithEngine) does not affect the deterministic stream:
-// transforms consume no randomness.
-func NewDeterministic(p *Params, seed uint64, opts ...Option) *Scheme {
-	c := applyOptions(opts)
-	s, err := core.NewWithEngines(p.inner, rng.NewXorshift128(seed), c.engine, c.sampler)
-	if err != nil {
-		panic("ringlwe: " + err.Error())
-	}
-	return newScheme(p, s)
-}
-
-// Engine returns the name of the NTT backend this scheme runs on.
-func (s *Scheme) Engine() string { return s.inner.Engine() }
-
-// Sampler returns the name of the Gaussian sampler backend this scheme's
-// workspaces draw error polynomials from.
-func (s *Scheme) Sampler() string { return s.inner.Sampler() }
-
-func newScheme(p *Params, inner *core.Scheme) *Scheme {
-	s := &Scheme{params: p, inner: inner}
-	s.pool.New = func() any { return s.NewWorkspace() }
-	return s
-}
-
-// SamplerStats exposes the scheme's Gaussian-sampler counters, aggregated
-// atomically across every workspace (one-shot, pooled and explicit alike).
-// Safe to read concurrently with encrypt traffic.
-func (s *Scheme) SamplerStats() (samples, lut1, lut2, scans uint64) {
-	return s.inner.SamplerStats()
-}
-
-// GenerateKeys creates a key pair under a fresh uniform ã.
-func (s *Scheme) GenerateKeys() (*PublicKey, *PrivateKey, error) {
-	pk, sk, err := s.inner.GenerateKeys()
-	if err != nil {
-		return nil, nil, err
-	}
-	return &PublicKey{params: s.params, inner: pk},
-		&PrivateKey{params: s.params, inner: sk}, nil
-}
-
-// Encrypt seals a MessageSize-byte message to pk.
-func (s *Scheme) Encrypt(pk *PublicKey, msg []byte) (*Ciphertext, error) {
-	if pk.params.inner != s.params.inner {
-		return nil, errors.New("ringlwe: public key belongs to a different parameter set")
-	}
-	ct, err := s.inner.Encrypt(pk.inner, msg)
-	if err != nil {
-		return nil, err
-	}
-	return &Ciphertext{params: s.params, inner: ct}, nil
-}
-
-// Decrypt opens ct with sk. Note the scheme's intrinsic failure rate; use
-// the KEM interface when transporting keys.
-func (s *Scheme) Decrypt(sk *PrivateKey, ct *Ciphertext) ([]byte, error) {
-	return sk.Decrypt(ct)
-}
-
-// Decrypt opens ct directly with the private key (no Scheme needed:
-// decryption consumes no randomness).
-func (sk *PrivateKey) Decrypt(ct *Ciphertext) ([]byte, error) {
-	if ct.params.inner != sk.params.inner {
-		return nil, errors.New("ringlwe: ciphertext belongs to a different parameter set")
-	}
-	return sk.inner.Decrypt(ct.inner)
-}
-
-// Params returns the key's parameter set.
-func (pk *PublicKey) Params() *Params { return pk.params }
-
-// Params returns the key's parameter set.
-func (sk *PrivateKey) Params() *Params { return sk.params }
-
-// Params returns the ciphertext's parameter set.
-func (ct *Ciphertext) Params() *Params { return ct.params }
-
-// Bytes serializes the public key.
-func (pk *PublicKey) Bytes() []byte { return pk.inner.Bytes() }
-
-// Bytes serializes the private key.
-func (sk *PrivateKey) Bytes() []byte { return sk.inner.Bytes() }
-
-// Bytes serializes the ciphertext.
-func (ct *Ciphertext) Bytes() []byte { return ct.inner.Bytes() }
-
-// ParsePublicKey deserializes a public key under p.
-func ParsePublicKey(p *Params, data []byte) (*PublicKey, error) {
-	pk, err := core.ParsePublicKey(p.inner, data)
-	if err != nil {
-		return nil, fmt.Errorf("ringlwe: %w", err)
-	}
-	return &PublicKey{params: p, inner: pk}, nil
-}
-
-// ParsePrivateKey deserializes a private key under p.
-func ParsePrivateKey(p *Params, data []byte) (*PrivateKey, error) {
-	sk, err := core.ParsePrivateKey(p.inner, data)
-	if err != nil {
-		return nil, fmt.Errorf("ringlwe: %w", err)
-	}
-	return &PrivateKey{params: p, inner: sk}, nil
-}
-
-// ParseCiphertext deserializes a ciphertext under p.
-func ParseCiphertext(p *Params, data []byte) (*Ciphertext, error) {
-	ct, err := core.ParseCiphertext(p.inner, data)
-	if err != nil {
-		return nil, fmt.Errorf("ringlwe: %w", err)
-	}
-	return &Ciphertext{params: p, inner: ct}, nil
 }

@@ -2,7 +2,6 @@ package ringlwe
 
 import (
 	"crypto/subtle"
-	"errors"
 	"fmt"
 
 	"ringlwe/internal/core"
@@ -76,10 +75,10 @@ func (w *Workspace) Encrypt(pk *PublicKey, msg []byte) (*Ciphertext, error) {
 // NewCiphertext), allocating nothing in steady state.
 func (w *Workspace) EncryptInto(ct *Ciphertext, pk *PublicKey, msg []byte) error {
 	if pk.params.inner != w.params.inner {
-		return errors.New("ringlwe: public key belongs to a different parameter set")
+		return paramsMismatch("public key")
 	}
 	if ct.params.inner != w.params.inner {
-		return errors.New("ringlwe: ciphertext buffer belongs to a different parameter set")
+		return paramsMismatch("ciphertext buffer")
 	}
 	return w.inner.EncryptInto(ct.inner, pk.inner, msg)
 }
@@ -98,10 +97,10 @@ func (w *Workspace) Decrypt(sk *PrivateKey, ct *Ciphertext) ([]byte, error) {
 // interface when transporting keys.
 func (w *Workspace) DecryptInto(dst []byte, sk *PrivateKey, ct *Ciphertext) error {
 	if sk.params.inner != w.params.inner {
-		return errors.New("ringlwe: private key belongs to a different parameter set")
+		return paramsMismatch("private key")
 	}
 	if ct.params.inner != w.params.inner {
-		return errors.New("ringlwe: ciphertext belongs to a different parameter set")
+		return paramsMismatch("ciphertext")
 	}
 	return w.inner.DecryptInto(dst, sk.inner, ct.inner)
 }
@@ -111,7 +110,7 @@ func (w *Workspace) DecryptInto(dst []byte, sk *PrivateKey, ct *Ciphertext) erro
 func (w *Workspace) Encapsulate(pk *PublicKey) (EncapsulatedKey, [SharedKeySize]byte, error) {
 	var zero [SharedKeySize]byte
 	if pk.params.inner != w.params.inner {
-		return nil, zero, errors.New("ringlwe: public key belongs to a different parameter set")
+		return nil, zero, paramsMismatch("public key")
 	}
 	seed := w.msgBuf
 	w.inner.FillRandom(seed)
@@ -136,7 +135,7 @@ func (w *Workspace) Encapsulate(pk *PublicKey) (EncapsulatedKey, [SharedKeySize]
 func (w *Workspace) Decapsulate(sk *PrivateKey, blob EncapsulatedKey) ([SharedKeySize]byte, error) {
 	var zero [SharedKeySize]byte
 	if sk.params.inner != w.params.inner {
-		return zero, errors.New("ringlwe: private key belongs to a different parameter set")
+		return zero, paramsMismatch("private key")
 	}
 	ctLen := w.params.CiphertextSize()
 	if len(blob) != ctLen+confirmTagSize {
