@@ -71,6 +71,12 @@ func parse(r io.Reader) ([]Result, error) {
 			}
 			res.Metrics[f[i+1]] = v
 		}
+		// Derived throughput metric: ns/op inverted to operations per
+		// second, so rate-style benchmarks (handshakes/s, rekeys/s) are
+		// directly readable from the archive.
+		if ns, ok := res.Metrics["ns/op"]; ok && ns > 0 {
+			res.Metrics["ops/s"] = 1e9 / ns
+		}
 		out = append(out, res)
 	}
 	return out, sc.Err()

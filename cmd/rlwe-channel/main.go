@@ -1,19 +1,30 @@
 // Command rlwe-channel runs the post-quantum secure channel from the
-// command line: a server that answers with an echo service, and a client
-// that sends lines to it — a minimal netcat-style tool over the ring-LWE
-// KEM handshake. The server handles connections concurrently; each
-// handshake runs on a pooled per-goroutine workspace of the shared scheme.
+// command line: a multi-tenant server that answers with an echo service,
+// and a client that sends lines to it — a minimal netcat-style tool over
+// the ring-LWE KEM handshake.
 //
-//	rlwe-channel serve   -addr 127.0.0.1:9999 -params P1
-//	rlwe-channel connect -addr 127.0.0.1:9999 -params P1 -msg "hello"
+// The server holds one scheme and long-term key pair per parameter set
+// and serves v2 (negotiated) and legacy v1 clients of any of them on one
+// port; handshakes run on pooled per-goroutine workspaces fed by a
+// per-scheme AES-CTR DRBG. On SIGINT/SIGTERM it shuts down gracefully and
+// prints the per-params counter snapshot.
+//
+//	rlwe-channel serve   -addr 127.0.0.1:9999 -params P1,P2
+//	rlwe-channel connect -addr 127.0.0.1:9999 -params P2 -msg "hello"
+//	rlwe-channel connect -addr 127.0.0.1:9999 -params P1 -proto v1
+//	rlwe-channel connect -addr 127.0.0.1:9999 -rekey 2 -count 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ringlwe"
 	"ringlwe/internal/protocol"
@@ -26,7 +37,9 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen/connect address")
-	paramsName := fs.String("params", "P1", "parameter set: P1 or P2")
+	paramsList := fs.String("params", "", "parameter sets (serve: comma list, default P1,P2; connect: one, default = server's choice)")
+	proto := fs.String("proto", "v2", "handshake generation (connect mode): v2 or v1")
+	rekey := fs.Uint64("rekey", 0, "rekey after this many records (connect mode, v2 only; 0 = never)")
 	msg := fs.String("msg", "ping", "message to send (connect mode)")
 	count := fs.Int("count", 3, "how many messages to send (connect mode)")
 	once := fs.Bool("once", false, "serve a single connection and exit")
@@ -34,89 +47,150 @@ func main() {
 		fatal(err)
 	}
 
-	var params *ringlwe.Params
-	switch strings.ToUpper(*paramsName) {
-	case "P1":
-		params = ringlwe.P1()
-	case "P2":
-		params = ringlwe.P2()
-	default:
-		fatal(fmt.Errorf("unknown parameter set %q", *paramsName))
-	}
-
 	switch cmd {
 	case "serve":
-		serve(*addr, params, *once)
+		if *paramsList == "" {
+			*paramsList = "P1,P2"
+		}
+		serve(*addr, parseParamsList(*paramsList), *once)
 	case "connect":
-		connect(*addr, params, *msg, *count)
+		connect(*addr, strings.TrimSpace(*paramsList), *proto, *rekey, *msg, *count)
 	default:
 		usage()
 	}
 }
 
-func serve(addr string, params *ringlwe.Params, once bool) {
-	scheme := ringlwe.New(params)
-	pk, sk, err := scheme.GenerateKeys()
-	if err != nil {
-		fatal(err)
+func parseParamsList(list string) []*ringlwe.Params {
+	var out []*ringlwe.Params
+	for _, name := range strings.Split(list, ",") {
+		switch strings.ToUpper(strings.TrimSpace(name)) {
+		case "P1":
+			out = append(out, ringlwe.P1())
+		case "P2":
+			out = append(out, ringlwe.P2())
+		case "":
+		default:
+			fatal(fmt.Errorf("unknown parameter set %q", name))
+		}
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("no parameter sets in %q", list))
+	}
+	return out
+}
+
+// paramsByName resolves exactly one parameter-set name (connect mode).
+func paramsByName(name string) *ringlwe.Params {
+	sets := parseParamsList(name)
+	if len(sets) != 1 {
+		fatal(fmt.Errorf("connect takes one parameter set, got %q", name))
+	}
+	return sets[0]
+}
+
+func serve(addr string, params []*ringlwe.Params, once bool) {
+	srv := protocol.NewServer(
+		protocol.WithHandler(echo),
+		protocol.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}),
+	)
+	for _, p := range params {
+		if err := srv.AddParams(p); err != nil {
+			fatal(err)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
-	defer ln.Close()
-	fmt.Printf("listening on %s (%s, %d B public key)\n",
-		ln.Addr(), params.Name(), params.PublicKeySize())
-	for {
+	var names []string
+	for _, p := range srv.ParamsServed() {
+		names = append(names, fmt.Sprintf("%s (%d B public key)", p.Name(), p.PublicKeySize()))
+	}
+	fmt.Printf("listening on %s, serving %s\n", ln.Addr(), strings.Join(names, ", "))
+
+	if once {
 		conn, err := ln.Accept()
 		if err != nil {
 			fatal(err)
 		}
-		if once {
-			handle(conn, scheme, pk, sk)
-			return
+		ln.Close()
+		ch, err := srv.Handshake(conn)
+		if err != nil {
+			fatal(err)
 		}
-		// One goroutine per connection: the handshake borrows a pooled
-		// per-goroutine workspace from the shared scheme, so concurrent
-		// clients neither contend nor race.
-		go handle(conn, scheme, pk, sk)
+		report(ch, conn)
+		echo(ch)
+		conn.Close()
+		fmt.Println(srv.Stats())
+		return
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, give active
+	// channels a grace period, then report the per-params counters.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("\n%v: shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+		}
+		fmt.Println("stats:", srv.Stats())
 	}
 }
 
-func handle(conn net.Conn, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ringlwe.PrivateKey) {
-	defer conn.Close()
-	ch, err := protocol.Server(conn, scheme, pk, sk)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "handshake with %s failed: %v\n", conn.RemoteAddr(), err)
-		return
-	}
-	fmt.Printf("channel with %s established (%d KEM retries)\n", conn.RemoteAddr(), ch.Retries)
+// echo is the per-channel handler: echo every record back with a prefix.
+func echo(ch *protocol.Channel) {
 	for {
 		m, err := ch.Recv()
 		if err != nil {
-			fmt.Printf("connection %s closed: %v\n", conn.RemoteAddr(), err)
 			return
 		}
-		fmt.Printf("  recv %q\n", m)
 		if err := ch.Send(append([]byte("echo: "), m...)); err != nil {
-			fmt.Fprintf(os.Stderr, "send failed: %v\n", err)
 			return
 		}
 	}
 }
 
-func connect(addr string, params *ringlwe.Params, msg string, count int) {
+func report(ch *protocol.Channel, conn net.Conn) {
+	fmt.Printf("channel with %s established (%s, v%d, %d KEM retries)\n",
+		conn.RemoteAddr(), ch.Params().Name(), ch.Version(), ch.Retries)
+}
+
+func connect(addr, paramsName, proto string, rekey uint64, msg string, count int) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer conn.Close()
-	scheme := ringlwe.New(params)
-	ch, err := protocol.Client(conn, scheme, params)
+
+	var ch *protocol.Channel
+	switch {
+	case proto == "v1":
+		if paramsName == "" {
+			fatal(fmt.Errorf("-proto v1 needs an explicit -params"))
+		}
+		ch, err = protocol.ClientV1(conn, ringlwe.New(paramsByName(paramsName)))
+	case paramsName == "":
+		// No set named: negotiate the server's default from the header of
+		// its self-describing public-key blob.
+		ch, err = protocol.ClientAuto(conn, protocol.WithRekeyAfter(rekey))
+	default:
+		ch, err = protocol.Client(conn, ringlwe.New(paramsByName(paramsName)),
+			protocol.WithRekeyAfter(rekey))
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("connected to %s over a %s channel\n", addr, params.Name())
+	fmt.Printf("connected to %s over a %s channel (protocol v%d)\n", addr, ch.Params().Name(), ch.Version())
 	for i := 0; i < count; i++ {
 		line := fmt.Sprintf("%s #%d", msg, i+1)
 		if err := ch.Send([]byte(line)); err != nil {
@@ -128,6 +202,9 @@ func connect(addr string, params *ringlwe.Params, msg string, count int) {
 		}
 		fmt.Printf("  %q → %q\n", line, reply)
 	}
+	if ch.Rekeys > 0 {
+		fmt.Printf("session rekeyed %d times\n", ch.Rekeys)
+	}
 }
 
 func fatal(err error) {
@@ -137,7 +214,12 @@ func fatal(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rlwe-channel serve   -addr HOST:PORT -params P1|P2 [-once]
-  rlwe-channel connect -addr HOST:PORT -params P1|P2 [-msg TEXT] [-count N]`)
+  rlwe-channel serve   -addr HOST:PORT [-params P1,P2] [-once]
+  rlwe-channel connect -addr HOST:PORT [-params P1|P2] [-proto v2|v1]
+                       [-rekey N] [-msg TEXT] [-count N]
+
+serve answers v2 (negotiated) and legacy v1 clients on one port, one
+tenant per -params entry (default P1,P2). connect without -params
+negotiates the server's default set from its public-key header.`)
 	os.Exit(2)
 }

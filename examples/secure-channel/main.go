@@ -1,17 +1,31 @@
-// Secure channel over TCP: a post-quantum handshake in the style of the
-// key-exchange work the paper's Table III compares against ([9], ring-LWE
-// key exchange for TLS). A server with a long-term ring-LWE key accepts a
-// loopback connection; the client encapsulates a session key through the
-// KEM (retrying transparently on intrinsic LPR decryption failures); both
-// sides then exchange authenticated, encrypted records.
+// Secure channel v2 over TCP: a post-quantum handshake in the style of
+// the key-exchange work the paper's Table III compares against ([9],
+// ring-LWE key exchange for TLS), upgraded to the negotiated multi-tenant
+// protocol.
+//
+// One server holds a long-term ring-LWE key pair per parameter set (the
+// post-quantum analogue of a TLS server certificate per cipher suite) and
+// serves them all on one port. Three clients hit it concurrently:
+//
+//   - a P1 client using the v2 negotiated handshake (the server's first
+//     flight is its self-describing public-key blob; the client checks
+//     the parameter set in its six-byte header),
+//   - a P2 client doing the same against the same port,
+//   - a legacy v1 client speaking the original one-byte parameter tag.
+//
+// The P1 client also rekeys mid-session: after WithRekeyAfter(2) records
+// it transparently encapsulates a fresh session key inside the channel
+// and both sides roll to new epoch keys.
 //
 //	go run ./examples/secure-channel
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"ringlwe"
@@ -19,92 +33,78 @@ import (
 )
 
 func main() {
-	params := ringlwe.P1()
-
-	// Server: long-term KEM key pair (the post-quantum analogue of a TLS
-	// server certificate key).
-	serverScheme := ringlwe.New(params)
-	pk, sk, err := serverScheme.GenerateKeys()
-	if err != nil {
-		log.Fatal(err)
+	// Server: one tenant per parameter set, each with its own scheme
+	// (randomness from a per-scheme AES-CTR DRBG) and long-term key pair.
+	srv := protocol.NewServer(protocol.WithHandler(func(ch *protocol.Channel) {
+		for {
+			msg, err := ch.Recv()
+			if err != nil {
+				return
+			}
+			if err := ch.Send(append([]byte("ack "), msg...)); err != nil {
+				return
+			}
+		}
+	}))
+	for _, p := range []*ringlwe.Params{ringlwe.P1(), ringlwe.P2()} {
+		if err := srv.AddParams(p); err != nil {
+			log.Fatal(err)
+		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
-	fmt.Printf("server: listening on %s with a %s key (%d B public key)\n",
-		ln.Addr(), params.Name(), params.PublicKeySize())
+	go srv.Serve(ln)
+	fmt.Printf("server: one port (%s), two parameter sets, v1+v2 accepted\n", ln.Addr())
 
-	serverErr := make(chan error, 1)
-	go func() {
-		conn, err := ln.Accept()
+	var wg sync.WaitGroup
+	run := func(label string, dial func(net.Conn) (*protocol.Channel, error), lines []string) {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
-			serverErr <- err
-			return
+			log.Fatal(err)
 		}
 		defer conn.Close()
-		ch, err := protocol.Server(conn, serverScheme, pk, sk)
+		start := time.Now()
+		ch, err := dial(conn)
 		if err != nil {
-			serverErr <- err
-			return
+			log.Fatalf("%s: %v", label, err)
 		}
-		fmt.Printf("server: channel established (%d KEM retries)\n", ch.Retries)
-		for {
-			msg, err := ch.Recv()
+		fmt.Printf("%s: handshake done in %v (negotiated %s, protocol v%d)\n",
+			label, time.Since(start).Round(time.Microsecond), ch.Params().Name(), ch.Version())
+		for _, line := range lines {
+			if err := ch.Send([]byte(line)); err != nil {
+				log.Fatalf("%s: %v", label, err)
+			}
+			reply, err := ch.Recv()
 			if err != nil {
-				serverErr <- err
-				return
+				log.Fatalf("%s: %v", label, err)
 			}
-			if string(msg) == "BYE" {
-				serverErr <- ch.Send([]byte("BYE"))
-				return
-			}
-			if err := ch.Send(append([]byte("ack "), msg...)); err != nil {
-				serverErr <- err
-				return
-			}
+			fmt.Printf("%s: sent %-24q got %q\n", label, line, reply)
 		}
-	}()
+		if ch.Rekeys > 0 {
+			fmt.Printf("%s: session rekeyed %d time(s) in-band\n", label, ch.Rekeys)
+		}
+	}
 
-	// Client.
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
-	clientScheme := ringlwe.New(params)
-	start := time.Now()
-	ch, err := protocol.Client(conn, clientScheme, params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("client: handshake done in %v (wire: %d B hello + %d B key + %d B encapsulation)\n",
-		time.Since(start).Round(time.Microsecond),
-		4, params.PublicKeySize(), params.EncapsulationSize())
+	wg.Add(3)
+	go run("client[P1,v2]", func(c net.Conn) (*protocol.Channel, error) {
+		return protocol.Client(c, ringlwe.New(ringlwe.P1()), protocol.WithRekeyAfter(2))
+	}, []string{"temperature 21.4C", "pressure 1013 hPa", "door sensor: closed", "humidity 40%"})
+	go run("client[P2,v2]", func(c net.Conn) (*protocol.Channel, error) {
+		return protocol.Client(c, ringlwe.New(ringlwe.P2()))
+	}, []string{"firmware hash f00d...", "uptime 312d"})
+	go run("client[P1,v1]", func(c net.Conn) (*protocol.Channel, error) {
+		return protocol.ClientV1(c, ringlwe.New(ringlwe.P1()))
+	}, []string{"legacy node says hi"})
+	wg.Wait()
 
-	for _, line := range []string{
-		"temperature 21.4C",
-		"pressure 1013 hPa",
-		"door sensor: closed",
-	} {
-		if err := ch.Send([]byte(line)); err != nil {
-			log.Fatal(err)
-		}
-		reply, err := ch.Recv()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("client: sent %-22q got %q\n", line, reply)
-	}
-	if err := ch.Send([]byte("BYE")); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ch.Recv(); err != nil {
-		log.Fatal(err)
-	}
-	if err := <-serverErr; err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println("server stats:", srv.Stats())
 	fmt.Println("session closed cleanly")
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"sync"
 
 	"ringlwe/internal/ntt"
 )
@@ -237,6 +239,133 @@ func ParseCiphertextBodyInto(ct *Ciphertext, body []byte) error {
 		return fmt.Errorf("core: ciphertext: %w", err)
 	}
 	return nil
+}
+
+// Streaming body I/O. The packed format groups eight coefficients into
+// CoeffBits whole bytes, so any multiple of eight coefficients starts on a
+// byte boundary; the writers and readers below exploit that to move bodies
+// through a small stack chunk instead of materializing the whole blob —
+// the seam behind the public io.WriterTo/io.ReaderFrom implementations.
+
+// streamChunkCoeffs is the number of coefficients packed per streaming
+// chunk. It is a multiple of 8 so every chunk begins byte-aligned, and
+// small enough that the chunk buffer lives on the stack (8·CoeffBits bytes
+// per 64 coefficients: 104 B for P1, 112 B for P2, 256 B worst case).
+const streamChunkCoeffs = 64
+
+// streamChunkBufSize bounds the per-chunk byte count: 64 coefficients at
+// the 32-bit ceiling on CoeffBits.
+const streamChunkBufSize = streamChunkCoeffs / 8 * 32
+
+// streamChunkPool recycles chunk buffers: a stack array would escape
+// through the io.Writer/io.Reader interface call, so pooling is what keeps
+// the streaming paths at zero steady-state allocations.
+var streamChunkPool = sync.Pool{New: func() any { return new([streamChunkBufSize]byte) }}
+
+// writePolysTo writes the packed concatenation of polys to w chunk by
+// chunk, returning the byte count written. It allocates no slice
+// proportional to the body.
+func writePolysTo(w io.Writer, p *Params, polys ...ntt.Poly) (int64, error) {
+	buf := streamChunkPool.Get().(*[streamChunkBufSize]byte)
+	defer streamChunkPool.Put(buf)
+	width := p.CoeffBits()
+	var written int64
+	for _, poly := range polys {
+		for off := 0; off < len(poly); off += streamChunkCoeffs {
+			end := min(off+streamChunkCoeffs, len(poly))
+			nb := (end - off) / 8 * int(width)
+			chunk := buf[:nb]
+			for i := range chunk {
+				chunk[i] = 0
+			}
+			packPoly(chunk, poly[off:end], width)
+			n, err := w.Write(chunk)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// readPolysFrom fills polys from the packed stream r chunk by chunk,
+// returning the byte count consumed. Coefficients are range-checked after
+// each poly completes, as the one-shot parsers do.
+func readPolysFrom(r io.Reader, p *Params, polys ...ntt.Poly) (int64, error) {
+	buf := streamChunkPool.Get().(*[streamChunkBufSize]byte)
+	defer streamChunkPool.Put(buf)
+	width := p.CoeffBits()
+	var read int64
+	for _, poly := range polys {
+		for off := 0; off < len(poly); off += streamChunkCoeffs {
+			end := min(off+streamChunkCoeffs, len(poly))
+			nb := (end - off) / 8 * int(width)
+			n, err := io.ReadFull(r, buf[:nb])
+			read += int64(n)
+			if err != nil {
+				return read, err
+			}
+			unpackPolyInto(poly[off:end], buf[:nb], width)
+		}
+		if err := checkRange(p, poly); err != nil {
+			return read, err
+		}
+	}
+	return read, nil
+}
+
+// WriteBodyTo streams the packed body ã ‖ p̃ to w without materializing it.
+func (pk *PublicKey) WriteBodyTo(w io.Writer) (int64, error) {
+	return writePolysTo(w, pk.Params, pk.A, pk.P)
+}
+
+// ReadPublicKeyBodyFrom streams a bare packed body of exactly 2·PolyBytes
+// from r into a fresh public key, returning the byte count consumed.
+func ReadPublicKeyBodyFrom(p *Params, r io.Reader) (*PublicKey, int64, error) {
+	pk := &PublicKey{Params: p, A: make(ntt.Poly, p.N), P: make(ntt.Poly, p.N)}
+	n, err := readPolysFrom(r, p, pk.A, pk.P)
+	if err != nil {
+		return nil, n, fmt.Errorf("core: public key: %w", err)
+	}
+	return pk, n, nil
+}
+
+// WriteBodyTo streams the packed body pack(r̃2) to w.
+func (sk *PrivateKey) WriteBodyTo(w io.Writer) (int64, error) {
+	return writePolysTo(w, sk.Params, sk.R2)
+}
+
+// ReadPrivateKeyBodyFrom streams a bare packed body of exactly PolyBytes
+// from r into a fresh private key.
+func ReadPrivateKeyBodyFrom(p *Params, r io.Reader) (*PrivateKey, int64, error) {
+	sk := &PrivateKey{Params: p, R2: make(ntt.Poly, p.N)}
+	n, err := readPolysFrom(r, p, sk.R2)
+	if err != nil {
+		return nil, n, fmt.Errorf("core: private key: %w", err)
+	}
+	return sk, n, nil
+}
+
+// WriteBodyTo streams the packed body c̃1 ‖ c̃2 to w.
+func (ct *Ciphertext) WriteBodyTo(w io.Writer) (int64, error) {
+	return writePolysTo(w, ct.Params, ct.C1, ct.C2)
+}
+
+// ReadCiphertextBodyFrom streams a bare packed body of exactly 2·PolyBytes
+// from r into a preallocated ciphertext (see NewCiphertext), allocating
+// nothing. On error the ciphertext's contents are unspecified.
+func ReadCiphertextBodyFrom(ct *Ciphertext, r io.Reader) (int64, error) {
+	p := ct.Params
+	if len(ct.C1) != p.N || len(ct.C2) != p.N {
+		return 0, fmt.Errorf("core: ciphertext: buffers hold %d/%d coefficients, want %d (use NewCiphertext)",
+			len(ct.C1), len(ct.C2), p.N)
+	}
+	n, err := readPolysFrom(r, p, ct.C1, ct.C2)
+	if err != nil {
+		return n, fmt.Errorf("core: ciphertext: %w", err)
+	}
+	return n, nil
 }
 
 func checkBlob(p *Params, data []byte, polys int) error {

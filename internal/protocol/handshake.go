@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ringlwe"
+)
+
+// Client performs the initiator side of the v2 negotiated handshake: it
+// names the scheme's registered parameter-set ID in its hello, streams the
+// server's self-describing public-key blob, verifies the header-recovered
+// set against its own (ringlwe.ErrParamsMismatch otherwise), encapsulates,
+// and derives record keys. Safe to run concurrently with other handshakes
+// on the same Scheme.
+func Client(rw io.ReadWriter, scheme *ringlwe.Scheme, opts ...Option) (*Channel, error) {
+	o := applyOptions(opts)
+	id := scheme.Params().WireID()
+	if id == 0 {
+		return nil, fmt.Errorf("protocol: parameter set %s has no wire ID; register it with ringlwe.RegisterParams (or use ClientV1)",
+			scheme.Params().Name())
+	}
+	return clientV2(rw, scheme, id, o)
+}
+
+// ClientAuto performs a v2 handshake without committing to a parameter set
+// up front: the hello requests the server's default set (ID 0), the
+// parameter set is recovered from the header of the server's public-key
+// blob via the registered-params table, and a fresh Scheme is constructed
+// for it (configure it with WithSchemeOptions). The negotiated set is
+// available afterwards as Channel.Params.
+func ClientAuto(rw io.ReadWriter, opts ...Option) (*Channel, error) {
+	return clientV2(rw, nil, 0, applyOptions(opts))
+}
+
+// clientV2 is the shared v2 initiator: with a scheme, id names its set and
+// the server's blob must match; with scheme == nil, id is 0 and the scheme
+// is built from whatever registered set the blob's header names.
+func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*Channel, error) {
+	var hello [helloV2Len]byte
+	binary.BigEndian.PutUint16(hello[:2], helloMagic)
+	hello[2] = helloV2Marker
+	hello[3] = protocolV2
+	binary.BigEndian.PutUint16(hello[4:6], id)
+	if _, err := rw.Write(hello[:]); err != nil {
+		return nil, fmt.Errorf("protocol: hello: %w", err)
+	}
+
+	var status [1]byte
+	if _, err := io.ReadFull(rw, status[:]); err != nil {
+		return nil, fmt.Errorf("protocol: reading hello status: %w", err)
+	}
+	switch status[0] {
+	case statusOK:
+	case statusReject:
+		return nil, fmt.Errorf("protocol: server does not serve parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
+	default:
+		return nil, fmt.Errorf("protocol: unknown hello status %d", status[0])
+	}
+
+	// The server's first flight: a self-describing public-key blob, read
+	// without buffering — the six-byte header bounds the body exactly.
+	pk, err := ringlwe.ReadAnyPublicKeyFrom(rw)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: reading server key: %w", err)
+	}
+	if scheme == nil {
+		scheme = ringlwe.New(pk.Params(), o.schemeOpts...)
+	} else if pk.Params().WireID() != id {
+		return nil, fmt.Errorf("protocol: server key is %s (wire ID %d), requested ID %d: %w",
+			pk.Params().Name(), pk.Params().WireID(), id, ringlwe.ErrParamsMismatch)
+	}
+
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		// Borrow a pooled workspace only for the KEM computation, not
+		// across the network round-trip, so stalled peers don't pin
+		// workspaces.
+		ws := scheme.AcquireWorkspace()
+		blob, key, err := ws.Encapsulate(pk)
+		scheme.ReleaseWorkspace(ws)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: encapsulate: %w", err)
+		}
+		if _, err := blob.WriteTo(rw); err != nil {
+			return nil, fmt.Errorf("protocol: sending encapsulation: %w", err)
+		}
+		if _, err := io.ReadFull(rw, status[:]); err != nil {
+			return nil, fmt.Errorf("protocol: reading status: %w", err)
+		}
+		switch status[0] {
+		case statusOK:
+			ch := &Channel{
+				rw:         rw,
+				version:    protocolV2,
+				isClient:   true,
+				scheme:     scheme,
+				peerPK:     pk,
+				rekeyAfter: o.rekeyAfter,
+				Retries:    attempt,
+			}
+			ch.deriveKeysV2(key, 0, true)
+			return ch, nil
+		case statusRetry:
+			continue
+		default:
+			return nil, fmt.Errorf("protocol: unknown status %d", status[0])
+		}
+	}
+	return nil, errors.New("protocol: too many decapsulation retries")
+}
+
+// ClientV1 performs the legacy tagged handshake (protocol version 1): a
+// fixed four-byte hello naming the parameter set by its one-byte tag,
+// answered with the legacy tagged public-key blob. It remains for talking
+// to pre-negotiation servers; new code should use Client. V1 channels
+// cannot rekey.
+func ClientV1(rw io.ReadWriter, scheme *ringlwe.Scheme) (*Channel, error) {
+	params := scheme.Params()
+	tag := legacyParamTag(params)
+	if tag == 0 {
+		return nil, fmt.Errorf("protocol: parameter set %s has no legacy v1 tag", params.Name())
+	}
+	var hello [helloV1Len]byte
+	binary.BigEndian.PutUint16(hello[:2], helloMagic)
+	hello[2] = tag
+	if _, err := rw.Write(hello[:]); err != nil {
+		return nil, fmt.Errorf("protocol: hello: %w", err)
+	}
+
+	pkBytes := make([]byte, params.PublicKeySize())
+	if _, err := io.ReadFull(rw, pkBytes); err != nil {
+		return nil, fmt.Errorf("protocol: reading server key: %w", err)
+	}
+	pk, err := ringlwe.ParsePublicKey(params, pkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		ws := scheme.AcquireWorkspace()
+		blob, key, err := ws.Encapsulate(pk)
+		scheme.ReleaseWorkspace(ws)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: encapsulate: %w", err)
+		}
+		if _, err := rw.Write(blob); err != nil {
+			return nil, fmt.Errorf("protocol: sending encapsulation: %w", err)
+		}
+		var status [1]byte
+		if _, err := io.ReadFull(rw, status[:]); err != nil {
+			return nil, fmt.Errorf("protocol: reading status: %w", err)
+		}
+		switch status[0] {
+		case statusOK:
+			ch := &Channel{
+				rw:       rw,
+				version:  protocolV1,
+				isClient: true,
+				scheme:   scheme,
+				peerPK:   pk,
+				Retries:  attempt,
+			}
+			ch.deriveKeys(key, true)
+			return ch, nil
+		case statusRetry:
+			continue
+		default:
+			return nil, fmt.Errorf("protocol: unknown status %d", status[0])
+		}
+	}
+	return nil, errors.New("protocol: too many decapsulation retries")
+}
+
+// legacyParamTag returns the v1 wire tag of a parameter set (1 for P1, 2
+// for P2, 0 for custom sets, which v1 cannot negotiate).
+func legacyParamTag(p *ringlwe.Params) byte {
+	switch p.Name() {
+	case "P1":
+		return 1
+	case "P2":
+		return 2
+	default:
+		return 0
+	}
+}

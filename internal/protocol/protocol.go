@@ -1,25 +1,45 @@
-// Package protocol implements a small secure-channel handshake over the
-// ring-LWE KEM — the "interconnected devices, even over the Internet"
-// scenario the paper's introduction motivates, and the use case its
-// Table III peer [9] (Bos et al., ring-LWE key exchange for TLS)
-// evaluates.
+// Package protocol implements a secure-channel protocol over the ring-LWE
+// KEM — the "interconnected devices, even over the Internet" scenario the
+// paper's introduction motivates, and the use case its Table III peer [9]
+// (Bos et al., ring-LWE key exchange for TLS) evaluates.
 //
-// Wire flow (client ↔ server over any reliable byte stream):
+// Two handshake versions share one server:
 //
-//	C → S   HELLO  ‖ parameter tag
-//	S → C   server public key
-//	C → S   KEM encapsulation blob
+// Version 2 (the default) negotiates the parameter set through the
+// library's self-describing wire format. The client's first flight names a
+// registered parameter-set ID (or 0 for "server's choice"); the server
+// answers with a status byte and streams its self-describing public-key
+// blob, whose six-byte header carries the set actually served, so the
+// client recovers the parameters from the blob itself via the
+// registered-params table:
+//
+//	C → S   HELLO2: magic ‖ 0xFF ‖ 2 ‖ params ID ‖ reserved   (8 bytes)
+//	S → C   status ‖ self-describing public key               (streamed)
+//	C → S   self-describing KEM encapsulation blob            (streamed)
 //	S → C   status (OK, or RETRY after an intrinsic LPR decryption
 //	        failure, in which case the client encapsulates again)
 //
+// Version 1 (legacy, still accepted) is the original fixed four-byte hello
+// carrying a one-byte parameter tag, answered with the legacy tagged
+// public-key blob; one server serves both generations on one port because
+// the first flight distinguishes them (hello[2] is 0xFF for v2, a legacy
+// tag otherwise).
+//
 // Both sides then derive direction-separated AES-128-CTR + HMAC-SHA256
 // keys from the shared secret and exchange length-prefixed sealed records
-// with monotonic sequence numbers (replay and reorder detection).
+// with monotonic sequence numbers (replay and reorder detection). Version
+// 2 records carry a type byte, which adds in-band rekeying for long-lived
+// sessions: after WithRekeyAfter(n) records the client transparently
+// encapsulates a fresh session key to the server's long-term public key
+// inside the channel (acknowledged before either side switches, so an
+// intrinsic decryption failure downgrades to a retry, not a dead channel),
+// and both sides roll to epoch-separated keys with reset sequence numbers.
 //
 // Handshakes borrow a pooled per-goroutine workspace from the shared
 // Scheme for all KEM work, so any number of connections may handshake
 // concurrently against one Scheme and one long-term key pair without
-// contention or per-message garbage.
+// contention or per-message garbage. The Server type serves several
+// parameter sets at once — one Scheme and key pair per registered set.
 package protocol
 
 import (
@@ -37,142 +57,124 @@ import (
 
 // Protocol constants.
 const (
-	helloMagic   = 0x524C // "RL"
+	helloMagic    = 0x524C // "RL"
+	helloV1Len    = 4
+	helloV2Len    = 8
+	helloV2Marker = 0xFF // hello[2] value no legacy parameter tag uses
+	protocolV1    = 1
+	protocolV2    = 2
+
 	statusOK     = 0
 	statusRetry  = 1
+	statusReject = 2
+
 	maxRetries   = 8
 	maxRecordLen = 1 << 20
 	tagLen       = 16
+
+	// maxPendingRecords bounds how many in-flight data records a client
+	// will buffer while waiting for a rekey ack.
+	maxPendingRecords = 1024
+
+	// v2 record types. v1 records have no type byte.
+	recordData      = 0
+	recordRekey     = 1
+	recordRekeyAck  = 2
+	recordRekeyNack = 3
 )
+
+// Option configures a handshake.
+type Option func(*options)
+
+type options struct {
+	rekeyAfter uint64
+	schemeOpts []ringlwe.Option
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithRekeyAfter makes a v2 client refresh the session keys after n data
+// records (counting both directions): before the n+1th send it runs an
+// in-band KEM rekey and both sides roll to fresh epoch-separated keys.
+// Zero (the default) never rekeys. Servers follow the client's lead and
+// need no option.
+func WithRekeyAfter(n uint64) Option {
+	return func(o *options) { o.rekeyAfter = n }
+}
+
+// WithSchemeOptions forwards scheme construction options (profiles,
+// WithRandom, …) to the Scheme a ClientAuto handshake builds for the
+// server-chosen parameter set. Ignored by handshakes given an explicit
+// Scheme.
+func WithSchemeOptions(opts ...ringlwe.Option) Option {
+	return func(o *options) { o.schemeOpts = opts }
+}
 
 // Channel is an established secure channel. Not safe for concurrent use;
 // callers serialize Send/Recv per side as usual for record protocols.
 type Channel struct {
-	rw      io.ReadWriter
+	rw io.ReadWriter
+
+	// version is the negotiated protocol generation (protocolV1 or
+	// protocolV2); only v2 channels carry record types and can rekey.
+	version int
+
+	// KEM state for rekeying: the client keeps the scheme and the server's
+	// long-term public key, the server its scheme and private key.
+	isClient bool
+	scheme   *ringlwe.Scheme
+	peerPK   *ringlwe.PublicKey
+	localSK  *ringlwe.PrivateKey
+
+	// rekeyAfter is the data-record count that triggers a client-side
+	// rekey; records counts data records sealed or opened at the current
+	// epoch; epoch separates successive key schedules in the derivation.
+	rekeyAfter uint64
+	records    uint64
+	epoch      uint32
+
+	// onRekey notifies the serving layer (per-params counters).
+	onRekey func()
+
+	// pending queues data records that arrive while the client waits for
+	// a rekey ack — records the peer sealed under the old epoch before it
+	// processed the rekey (per-direction FIFO ordering delivers them
+	// ahead of the ack). Recv drains it before reading the wire.
+	pending [][]byte
+
 	sendKey [16]byte
 	recvKey [16]byte
 	sendMAC [32]byte
 	recvMAC [32]byte
 	sendSeq uint64
 	recvSeq uint64
+
 	// Retries records how many KEM retries the handshake needed (usually 0;
 	// each intrinsic LPR decryption failure adds one).
 	Retries int
+	// Rekeys records how many epoch rolls the channel has completed.
+	Rekeys int
 }
 
-// Client performs the initiator side of the handshake: receives the
-// server's public key, encapsulates, and derives record keys. Safe to run
-// concurrently with other handshakes on the same Scheme.
-func Client(rw io.ReadWriter, scheme *ringlwe.Scheme, params *ringlwe.Params) (*Channel, error) {
-	var hello [4]byte
-	binary.BigEndian.PutUint16(hello[:2], helloMagic)
-	hello[2] = paramTag(params)
-	if _, err := rw.Write(hello[:]); err != nil {
-		return nil, fmt.Errorf("protocol: hello: %w", err)
-	}
+// Version reports the negotiated protocol generation: 1 for a legacy
+// tagged handshake, 2 for the self-describing negotiated handshake.
+func (c *Channel) Version() int { return c.version }
 
-	pkBytes := make([]byte, params.PublicKeySize())
-	if _, err := io.ReadFull(rw, pkBytes); err != nil {
-		return nil, fmt.Errorf("protocol: reading server key: %w", err)
-	}
-	pk, err := ringlwe.ParsePublicKey(params, pkBytes)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: %w", err)
-	}
+// Params returns the negotiated parameter set.
+func (c *Channel) Params() *ringlwe.Params { return c.scheme.Params() }
 
-	for attempt := 0; attempt <= maxRetries; attempt++ {
-		// Borrow a pooled workspace only for the KEM computation, not
-		// across the network round-trip, so stalled peers don't pin
-		// workspaces.
-		ws := scheme.AcquireWorkspace()
-		blob, key, err := ws.Encapsulate(pk)
-		scheme.ReleaseWorkspace(ws)
-		if err != nil {
-			return nil, fmt.Errorf("protocol: encapsulate: %w", err)
-		}
-		if _, err := rw.Write(blob); err != nil {
-			return nil, fmt.Errorf("protocol: sending encapsulation: %w", err)
-		}
-		var status [1]byte
-		if _, err := io.ReadFull(rw, status[:]); err != nil {
-			return nil, fmt.Errorf("protocol: reading status: %w", err)
-		}
-		switch status[0] {
-		case statusOK:
-			ch := &Channel{rw: rw, Retries: attempt}
-			ch.deriveKeys(key, true)
-			return ch, nil
-		case statusRetry:
-			continue
-		default:
-			return nil, fmt.Errorf("protocol: unknown status %d", status[0])
-		}
-	}
-	return nil, errors.New("protocol: too many decapsulation retries")
-}
+// Scheme returns the scheme the channel's KEM operations run on — for a
+// ClientAuto handshake, the scheme constructed for the server-chosen set.
+func (c *Channel) Scheme() *ringlwe.Scheme { return c.scheme }
 
-// Server performs the responder side using its long-term key pair. Safe to
-// run concurrently with other handshakes on the same Scheme and key pair —
-// one listener goroutine per connection is the intended deployment.
-func Server(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ringlwe.PrivateKey) (*Channel, error) {
-	params := pk.Params()
-	var hello [4]byte
-	if _, err := io.ReadFull(rw, hello[:]); err != nil {
-		return nil, fmt.Errorf("protocol: hello: %w", err)
-	}
-	if binary.BigEndian.Uint16(hello[:2]) != helloMagic {
-		return nil, errors.New("protocol: bad hello magic")
-	}
-	if hello[2] != paramTag(params) {
-		return nil, fmt.Errorf("protocol: client requested parameter tag %d, server has %d",
-			hello[2], paramTag(params))
-	}
-	if _, err := rw.Write(pk.Bytes()); err != nil {
-		return nil, fmt.Errorf("protocol: sending public key: %w", err)
-	}
-
-	blob := make([]byte, params.EncapsulationSize())
-	for attempt := 0; attempt <= maxRetries; attempt++ {
-		if _, err := io.ReadFull(rw, blob); err != nil {
-			return nil, fmt.Errorf("protocol: reading encapsulation: %w", err)
-		}
-		// Borrow a pooled workspace only for the decapsulation itself —
-		// never across the blocking read — so the pool grows with
-		// concurrent KEM computations, not with stalled connections.
-		ws := scheme.AcquireWorkspace()
-		key, err := ws.Decapsulate(sk, ringlwe.EncapsulatedKey(blob))
-		scheme.ReleaseWorkspace(ws)
-		if errors.Is(err, ringlwe.ErrDecapsulation) {
-			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
-				return nil, fmt.Errorf("protocol: sending retry: %w", werr)
-			}
-			continue
-		}
-		if err != nil {
-			return nil, fmt.Errorf("protocol: decapsulate: %w", err)
-		}
-		if _, err := rw.Write([]byte{statusOK}); err != nil {
-			return nil, fmt.Errorf("protocol: sending ok: %w", err)
-		}
-		ch := &Channel{rw: rw, Retries: attempt}
-		ch.deriveKeys(key, false)
-		return ch, nil
-	}
-	return nil, errors.New("protocol: too many decapsulation retries")
-}
-
-func paramTag(p *ringlwe.Params) byte {
-	switch p.Name() {
-	case "P1":
-		return 1
-	case "P2":
-		return 2
-	default:
-		return 0
-	}
-}
-
-// deriveKeys expands the shared secret into four directional keys.
+// deriveKeys expands the shared secret into four directional keys (v1
+// derivation, unchanged from the original protocol).
 // isClient flips which derivation feeds which direction.
 func (c *Channel) deriveKeys(shared [ringlwe.SharedKeySize]byte, isClient bool) {
 	expand := func(label string) [32]byte {
@@ -183,10 +185,30 @@ func (c *Channel) deriveKeys(shared [ringlwe.SharedKeySize]byte, isClient bool) 
 		copy(out[:], h.Sum(nil))
 		return out
 	}
-	c2s := expand("c2s")
-	s2c := expand("s2c")
-	c2sMAC := expand("c2s-mac")
-	s2cMAC := expand("s2c-mac")
+	c.setKeys(expand("c2s"), expand("s2c"), expand("c2s-mac"), expand("s2c-mac"), isClient)
+}
+
+// deriveKeysV2 expands the shared secret into the four directional keys of
+// one v2 epoch. The label binds the protocol generation, the negotiated
+// parameter set and the epoch counter, so keys from different epochs (and
+// different negotiated sets) live in disjoint domains.
+func (c *Channel) deriveKeysV2(shared [ringlwe.SharedKeySize]byte, epoch uint32, isClient bool) {
+	name := c.scheme.Params().Name()
+	expand := func(label string) [32]byte {
+		h := sha256.New()
+		h.Write([]byte("ringlwe-channel-v2 " + name + " " + label))
+		var e [4]byte
+		binary.BigEndian.PutUint32(e[:], epoch)
+		h.Write(e[:])
+		h.Write(shared[:])
+		var out [32]byte
+		copy(out[:], h.Sum(nil))
+		return out
+	}
+	c.setKeys(expand("c2s"), expand("s2c"), expand("c2s-mac"), expand("s2c-mac"), isClient)
+}
+
+func (c *Channel) setKeys(c2s, s2c, c2sMAC, s2cMAC [32]byte, isClient bool) {
 	if isClient {
 		copy(c.sendKey[:], c2s[:16])
 		copy(c.recvKey[:], s2c[:16])
@@ -198,8 +220,25 @@ func (c *Channel) deriveKeys(shared [ringlwe.SharedKeySize]byte, isClient bool) 
 	}
 }
 
-// record layout: 4-byte length ‖ ciphertext ‖ 16-byte truncated HMAC over
-// (seq ‖ length ‖ ciphertext).
+// switchEpoch rolls both directions to the key schedule of the next epoch
+// and resets the sequence numbers and the rekey record counter.
+func (c *Channel) switchEpoch(shared [ringlwe.SharedKeySize]byte) {
+	c.epoch++
+	c.deriveKeysV2(shared, c.epoch, c.isClient)
+	c.sendSeq, c.recvSeq = 0, 0
+	c.records = 0
+	c.Rekeys++
+	if c.onRekey != nil {
+		c.onRekey()
+	}
+}
+
+// record layout:
+//
+//	v1:  4-byte length ‖ ciphertext ‖ 16-byte truncated HMAC over
+//	     (seq ‖ length ‖ ciphertext)
+//	v2:  1-byte type ‖ 4-byte length ‖ ciphertext ‖ 16-byte truncated
+//	     HMAC over (seq ‖ type ‖ length ‖ ciphertext)
 
 func stream(key [16]byte, seq uint64, data []byte) []byte {
 	block, err := aes.NewCipher(key[:])
@@ -213,27 +252,37 @@ func stream(key [16]byte, seq uint64, data []byte) []byte {
 	return out
 }
 
-func (c *Channel) mac(key [32]byte, seq uint64, length uint32, ct []byte) []byte {
+func (c *Channel) mac(key [32]byte, seq uint64, typ byte, length uint32, ct []byte) []byte {
 	m := hmac.New(sha256.New, key[:])
-	var hdr [12]byte
+	var hdr [13]byte
 	binary.BigEndian.PutUint64(hdr[:8], seq)
-	binary.BigEndian.PutUint32(hdr[8:], length)
-	m.Write(hdr[:])
+	n := 8
+	if c.version >= protocolV2 {
+		hdr[n] = typ
+		n++
+	}
+	binary.BigEndian.PutUint32(hdr[n:n+4], length)
+	m.Write(hdr[:n+4])
 	m.Write(ct)
 	return m.Sum(nil)[:tagLen]
 }
 
-// Send seals and writes one record.
-func (c *Channel) Send(msg []byte) error {
+// seal encrypts and writes one record of the given type.
+func (c *Channel) seal(typ byte, msg []byte) error {
 	if len(msg) > maxRecordLen {
 		return fmt.Errorf("protocol: record too large (%d bytes)", len(msg))
 	}
 	ct := stream(c.sendKey, c.sendSeq, msg)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(ct)))
-	tag := c.mac(c.sendMAC, c.sendSeq, uint32(len(ct)), ct)
+	var hdr [5]byte
+	n := 0
+	if c.version >= protocolV2 {
+		hdr[0] = typ
+		n = 1
+	}
+	binary.BigEndian.PutUint32(hdr[n:n+4], uint32(len(ct)))
+	tag := c.mac(c.sendMAC, c.sendSeq, typ, uint32(len(ct)), ct)
 	c.sendSeq++
-	if _, err := c.rw.Write(hdr[:]); err != nil {
+	if _, err := c.rw.Write(hdr[:n+4]); err != nil {
 		return err
 	}
 	if _, err := c.rw.Write(ct); err != nil {
@@ -243,30 +292,159 @@ func (c *Channel) Send(msg []byte) error {
 	return err
 }
 
-// Recv reads and opens one record. Authentication failures and replays
-// surface as errors and poison nothing: the caller may close the channel.
-func (c *Channel) Recv() ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
-		return nil, err
+// open reads and authenticates one record, returning its type (recordData
+// on v1 channels, which carry no type byte).
+func (c *Channel) open() (byte, []byte, error) {
+	var hdr [5]byte
+	n := 0
+	typ := byte(recordData)
+	if c.version >= protocolV2 {
+		n = 1
 	}
-	length := binary.BigEndian.Uint32(hdr[:])
+	if _, err := io.ReadFull(c.rw, hdr[:n+4]); err != nil {
+		return 0, nil, err
+	}
+	if c.version >= protocolV2 {
+		typ = hdr[0]
+	}
+	length := binary.BigEndian.Uint32(hdr[n : n+4])
 	if length > maxRecordLen {
-		return nil, fmt.Errorf("protocol: oversized record (%d bytes)", length)
+		return 0, nil, fmt.Errorf("protocol: oversized record (%d bytes)", length)
 	}
 	ct := make([]byte, length)
 	if _, err := io.ReadFull(c.rw, ct); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	tag := make([]byte, tagLen)
 	if _, err := io.ReadFull(c.rw, tag); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	want := c.mac(c.recvMAC, c.recvSeq, length, ct)
+	want := c.mac(c.recvMAC, c.recvSeq, typ, length, ct)
 	if !hmac.Equal(tag, want) {
-		return nil, errors.New("protocol: record authentication failed")
+		return 0, nil, errors.New("protocol: record authentication failed")
 	}
 	msg := stream(c.recvKey, c.recvSeq, ct)
 	c.recvSeq++
-	return msg, nil
+	return typ, msg, nil
+}
+
+// Send seals and writes one data record, transparently rekeying first when
+// the channel's rekey threshold has been reached (v2 clients only).
+func (c *Channel) Send(msg []byte) error {
+	if c.needRekey() {
+		if err := c.rekey(); err != nil {
+			return err
+		}
+	}
+	if err := c.seal(recordData, msg); err != nil {
+		return err
+	}
+	c.records++
+	return nil
+}
+
+// Recv reads and opens records until a data record arrives, transparently
+// serving in-band rekey requests on the way (v2 servers only).
+// Authentication failures and replays surface as errors and poison
+// nothing: the caller may close the channel.
+func (c *Channel) Recv() ([]byte, error) {
+	if len(c.pending) > 0 {
+		msg := c.pending[0]
+		c.pending = c.pending[1:]
+		c.records++
+		return msg, nil
+	}
+	for {
+		typ, msg, err := c.open()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case recordData:
+			c.records++
+			return msg, nil
+		case recordRekey:
+			if c.isClient {
+				return nil, errors.New("protocol: unexpected rekey record from server")
+			}
+			if err := c.acceptRekey(msg); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("protocol: unexpected record type %d", typ)
+		}
+	}
+}
+
+func (c *Channel) needRekey() bool {
+	return c.version >= protocolV2 && c.isClient && c.rekeyAfter > 0 && c.records >= c.rekeyAfter
+}
+
+// rekey runs the client side of an in-band epoch roll: encapsulate a fresh
+// session key to the server's long-term public key, send it as a rekey
+// record under the current keys, and switch only after the server
+// acknowledges — an intrinsic LPR decryption failure comes back as a nack
+// and the client simply encapsulates again.
+func (c *Channel) rekey() error {
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		ws := c.scheme.AcquireWorkspace()
+		blob, key, err := ws.Encapsulate(c.peerPK)
+		c.scheme.ReleaseWorkspace(ws)
+		if err != nil {
+			return fmt.Errorf("protocol: rekey encapsulate: %w", err)
+		}
+		if err := c.seal(recordRekey, blob); err != nil {
+			return fmt.Errorf("protocol: sending rekey: %w", err)
+		}
+	await:
+		for {
+			typ, msg, err := c.open()
+			if err != nil {
+				return fmt.Errorf("protocol: reading rekey ack: %w", err)
+			}
+			switch typ {
+			case recordRekeyAck:
+				c.switchEpoch(key)
+				return nil
+			case recordRekeyNack:
+				break await
+			case recordData:
+				// An in-flight data record the peer sealed under the old
+				// epoch before processing the rekey; queue it for Recv
+				// instead of killing the session.
+				if len(c.pending) >= maxPendingRecords {
+					return errors.New("protocol: too many data records in flight across a rekey")
+				}
+				c.pending = append(c.pending, msg)
+			default:
+				return fmt.Errorf("protocol: expected rekey ack, got record type %d", typ)
+			}
+		}
+	}
+	return errors.New("protocol: too many rekey retries")
+}
+
+// acceptRekey runs the server side of an epoch roll: decapsulate the
+// client's blob with the long-term private key, acknowledge under the
+// current keys, then switch. The blob length is validated against the
+// negotiated parameter set before any KEM work.
+func (c *Channel) acceptRekey(blob []byte) error {
+	if want := c.scheme.Params().EncapsulationSize(); len(blob) != want {
+		return fmt.Errorf("protocol: rekey blob is %d bytes, want %d: %w",
+			len(blob), want, ringlwe.ErrParamsMismatch)
+	}
+	ws := c.scheme.AcquireWorkspace()
+	key, err := ws.Decapsulate(c.localSK, ringlwe.EncapsulatedKey(blob))
+	c.scheme.ReleaseWorkspace(ws)
+	if errors.Is(err, ringlwe.ErrDecapsulation) {
+		return c.seal(recordRekeyNack, nil)
+	}
+	if err != nil {
+		return fmt.Errorf("protocol: rekey decapsulate: %w", err)
+	}
+	if err := c.seal(recordRekeyAck, nil); err != nil {
+		return err
+	}
+	c.switchEpoch(key)
+	return nil
 }

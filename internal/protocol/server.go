@@ -1,0 +1,486 @@
+package protocol
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ringlwe"
+	"ringlwe/internal/rng"
+)
+
+// ErrServerClosed is returned by Server.Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("protocol: server closed")
+
+// tenant is one served parameter set: a shared Scheme, a long-term key
+// pair, and the per-params counters the stats snapshot reports.
+type tenant struct {
+	id     uint16
+	scheme *ringlwe.Scheme
+	pk     *ringlwe.PublicKey
+	sk     *ringlwe.PrivateKey
+
+	handshakes atomic.Uint64
+	failures   atomic.Uint64
+	retries    atomic.Uint64
+	rekeys     atomic.Uint64
+	active     atomic.Int64
+}
+
+// Server is a multi-tenant secure-channel endpoint: it holds one Scheme
+// and long-term key pair per registered parameter set and serves v2
+// (negotiated) and v1 (legacy tagged) clients of any of them on one
+// listener. Handshake KEM work runs on pooled per-goroutine workspaces of
+// the tenant's Scheme, so concurrent connections neither contend nor race.
+//
+// Populate it with AddParams/AddTenant before serving. All methods are
+// safe for concurrent use.
+type Server struct {
+	handler func(*Channel)
+	logf    func(format string, args ...any)
+
+	mu        sync.RWMutex
+	tenants   map[uint16]*tenant
+	defaultID uint16
+
+	connMu   sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closing  atomic.Bool
+	rejected atomic.Uint64
+}
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithHandler sets the function run on every successfully established
+// channel; it owns the channel until it returns (the connection closes
+// afterwards). Without a handler the server completes handshakes and
+// closes — useful for handshake benchmarks and tests.
+func WithHandler(h func(*Channel)) ServerOption {
+	return func(s *Server) { s.handler = h }
+}
+
+// WithLogf directs per-connection error reports (failed handshakes,
+// rejected hellos) to a printf-style sink. Silent by default.
+func WithLogf(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer builds an empty server; register parameter sets with
+// AddParams or AddTenant.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		tenants: make(map[uint16]*tenant),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// AddTenant registers a parameter set with an existing scheme and
+// long-term key pair. The set must be wire-registered (P1 and P2 always
+// are; Custom sets via ringlwe.RegisterParams) so v2 clients can negotiate
+// it by ID. The first tenant added becomes the default served to v2
+// clients that request ID 0.
+func (s *Server) AddTenant(scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ringlwe.PrivateKey) error {
+	p := scheme.Params()
+	id := p.WireID()
+	if id == 0 {
+		return fmt.Errorf("protocol: parameter set %s has no wire ID; register it with ringlwe.RegisterParams", p.Name())
+	}
+	if pk.Params().N() != p.N() || sk.Params().N() != p.N() || pk.Params().WireID() != id || sk.Params().WireID() != id {
+		return fmt.Errorf("protocol: key pair does not match scheme parameter set %s: %w", p.Name(), ringlwe.ErrParamsMismatch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[id]; dup {
+		return fmt.Errorf("protocol: parameter set %s (wire ID %d) already served", p.Name(), id)
+	}
+	s.tenants[id] = &tenant{id: id, scheme: scheme, pk: pk, sk: sk}
+	if s.defaultID == 0 {
+		s.defaultID = id
+	}
+	return nil
+}
+
+// AddParams registers a parameter set the convenient way: it constructs a
+// Scheme whose randomness comes from a per-scheme AES-128-CTR DRBG seeded
+// from the operating system CSPRNG (one OS read at setup; every pooled
+// workspace then forks its own syscall-free CTR stream), generates a fresh
+// long-term key pair, and registers the tenant. Extra scheme options
+// (profiles, an explicit WithRandom, …) are appended and may override the
+// default entropy source.
+func (s *Server) AddParams(p *ringlwe.Params, opts ...ringlwe.Option) error {
+	schemeOpts := append([]ringlwe.Option{ringlwe.WithRandom(rng.NewCTRReaderOS())}, opts...)
+	scheme := ringlwe.New(p, schemeOpts...)
+	pk, sk, err := scheme.GenerateKeys()
+	if err != nil {
+		return fmt.Errorf("protocol: generating %s key pair: %w", p.Name(), err)
+	}
+	return s.AddTenant(scheme, pk, sk)
+}
+
+// tenantByID resolves a v2 hello's parameter-set ID (0 = default tenant).
+func (s *Server) tenantByID(id uint16) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 {
+		id = s.defaultID
+	}
+	return s.tenants[id]
+}
+
+// tenantByLegacyTag resolves a v1 hello's one-byte parameter tag.
+func (s *Server) tenantByLegacyTag(tag byte) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.tenants {
+		if legacyParamTag(t.scheme.Params()) == tag {
+			return t
+		}
+	}
+	return nil
+}
+
+// Handshake performs the responder side of one handshake over any
+// reliable byte stream, auto-detecting the protocol generation from the
+// first flight and dispatching to the tenant the client names. It is the
+// seam Serve drives per connection, exported so channels can be
+// established over in-memory pipes and custom transports.
+func (s *Server) Handshake(rw io.ReadWriter) (*Channel, error) {
+	ch, _, err := s.handshake(rw)
+	return ch, err
+}
+
+// handshake implements Handshake, also returning the tenant for the
+// serving layer's counters.
+func (s *Server) handshake(rw io.ReadWriter) (*Channel, *tenant, error) {
+	var hello [helloV1Len]byte
+	if _, err := io.ReadFull(rw, hello[:]); err != nil {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: hello: %w", err)
+	}
+	if binary.BigEndian.Uint16(hello[:2]) != helloMagic {
+		s.rejected.Add(1)
+		return nil, nil, errors.New("protocol: bad hello magic")
+	}
+	if hello[2] == helloV2Marker {
+		return s.handshakeV2(rw, hello)
+	}
+	return s.handshakeV1(rw, hello)
+}
+
+// handshakeV2 answers a negotiated hello: resolve the tenant by the
+// requested parameter-set ID, stream the self-describing public key, and
+// run the KEM flight with every read bounded by the negotiated set.
+func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+	if hello[3] != protocolV2 {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: unsupported protocol version %d", hello[3])
+	}
+	var rest [helloV2Len - helloV1Len]byte
+	if _, err := io.ReadFull(rw, rest[:]); err != nil {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: hello: %w", err)
+	}
+	id := binary.BigEndian.Uint16(rest[:2])
+	t := s.tenantByID(id)
+	if t == nil {
+		s.rejected.Add(1)
+		// Tell the client before closing so it fails with a diagnosis
+		// instead of an EOF.
+		rw.Write([]byte{statusReject})
+		return nil, nil, fmt.Errorf("protocol: no tenant serves parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
+	}
+	params := t.scheme.Params()
+	if _, err := rw.Write([]byte{statusOK}); err != nil {
+		return nil, t, fmt.Errorf("protocol: sending hello status: %w", err)
+	}
+	// First server flight: the self-describing public-key blob, streamed
+	// (header + fixed-size chunks, no intermediate full-blob slice).
+	if _, err := t.pk.WriteTo(rw); err != nil {
+		return nil, t, fmt.Errorf("protocol: sending public key: %w", err)
+	}
+
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		// The encapsulation flight is self-describing too; its header is
+		// validated against the negotiated set before the body is read, so
+		// a client cannot smuggle another set's (differently sized) blob
+		// past the negotiation.
+		ekParams, ek, err := ringlwe.ReadAnyEncapsulatedKeyFrom(rw)
+		if err != nil {
+			return nil, t, fmt.Errorf("protocol: reading encapsulation: %w", err)
+		}
+		if ekParams.WireID() != t.id {
+			return nil, t, fmt.Errorf("protocol: encapsulation is %s, negotiated %s: %w",
+				ekParams.Name(), params.Name(), ringlwe.ErrParamsMismatch)
+		}
+		// Borrow a pooled workspace only for the decapsulation itself —
+		// never across the blocking read — so the pool grows with
+		// concurrent KEM computations, not with stalled connections.
+		ws := t.scheme.AcquireWorkspace()
+		key, err := ws.Decapsulate(t.sk, ek)
+		t.scheme.ReleaseWorkspace(ws)
+		if errors.Is(err, ringlwe.ErrDecapsulation) {
+			t.retries.Add(1)
+			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
+				return nil, t, fmt.Errorf("protocol: sending retry: %w", werr)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, t, fmt.Errorf("protocol: decapsulate: %w", err)
+		}
+		if _, err := rw.Write([]byte{statusOK}); err != nil {
+			return nil, t, fmt.Errorf("protocol: sending ok: %w", err)
+		}
+		ch := &Channel{
+			rw:      rw,
+			version: protocolV2,
+			scheme:  t.scheme,
+			localSK: t.sk,
+			onRekey: func() { t.rekeys.Add(1) },
+			Retries: attempt,
+		}
+		ch.deriveKeysV2(key, 0, false)
+		return ch, t, nil
+	}
+	return nil, t, errors.New("protocol: too many decapsulation retries")
+}
+
+// handshakeV1 answers a legacy tagged hello exactly as the original
+// single-tenant server did, dispatching on the one-byte tag.
+func (s *Server) handshakeV1(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+	if hello[3] != 0 {
+		s.rejected.Add(1)
+		return nil, nil, errors.New("protocol: malformed v1 hello")
+	}
+	t := s.tenantByLegacyTag(hello[2])
+	if t == nil {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: no tenant serves v1 parameter tag %d: %w", hello[2], ringlwe.ErrParamsMismatch)
+	}
+	params := t.scheme.Params()
+	if _, err := rw.Write(t.pk.Bytes()); err != nil {
+		return nil, t, fmt.Errorf("protocol: sending public key: %w", err)
+	}
+
+	// The v1 encapsulation flight is a bare blob; the negotiated set
+	// bounds the read exactly.
+	blob := make([]byte, params.EncapsulationSize())
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if _, err := io.ReadFull(rw, blob); err != nil {
+			return nil, t, fmt.Errorf("protocol: reading encapsulation: %w", err)
+		}
+		ws := t.scheme.AcquireWorkspace()
+		key, err := ws.Decapsulate(t.sk, ringlwe.EncapsulatedKey(blob))
+		t.scheme.ReleaseWorkspace(ws)
+		if errors.Is(err, ringlwe.ErrDecapsulation) {
+			t.retries.Add(1)
+			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
+				return nil, t, fmt.Errorf("protocol: sending retry: %w", werr)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, t, fmt.Errorf("protocol: decapsulate: %w", err)
+		}
+		if _, err := rw.Write([]byte{statusOK}); err != nil {
+			return nil, t, fmt.Errorf("protocol: sending ok: %w", err)
+		}
+		ch := &Channel{
+			rw:      rw,
+			version: protocolV1,
+			scheme:  t.scheme,
+			localSK: t.sk,
+			Retries: attempt,
+		}
+		ch.deriveKeys(key, false)
+		return ch, t, nil
+	}
+	return nil, t, errors.New("protocol: too many decapsulation retries")
+}
+
+// Serve accepts connections on ln and serves each on its own goroutine
+// until the listener fails or Shutdown/Close is called, in which case it
+// returns ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	s.ln = ln
+	s.connMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection: handshake, per-params accounting, then
+// the handler.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.trackConn(conn, true)
+	defer s.trackConn(conn, false)
+
+	ch, t, err := s.handshake(conn)
+	if err != nil {
+		if t != nil {
+			t.failures.Add(1)
+		}
+		if s.logf != nil {
+			s.logf("handshake with %s failed: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	// KEM retries were already counted inside the handshake loop.
+	t.handshakes.Add(1)
+	t.active.Add(1)
+	defer t.active.Add(-1)
+	if s.handler != nil {
+		s.handler(ch)
+	}
+}
+
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately
+// (Serve returns ErrServerClosed), established channels keep running
+// until their handlers finish or ctx expires, at which point their
+// connections are force-closed and Shutdown waits for the handlers to
+// unwind before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.connMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: the listener and every active
+// connection are closed and Close waits for the handlers to unwind.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// Counters is one tenant's monotonic totals (and current active-channel
+// gauge) since the server started.
+type Counters struct {
+	Handshakes     uint64 `json:"handshakes"`
+	Failures       uint64 `json:"handshake_failures"`
+	Retries        uint64 `json:"kem_retries"`
+	Rekeys         uint64 `json:"rekeys"`
+	ActiveChannels int64  `json:"active_channels"`
+}
+
+// Stats is an expvar-style snapshot of the server: per-parameter-set
+// counters keyed by set name, plus hellos rejected before a tenant was
+// resolved. Its String method renders JSON, so it satisfies expvar.Var:
+//
+//	expvar.Publish("rlwe_server", expvar.Func(func() any { return srv.Stats() }))
+type Stats struct {
+	Rejected  uint64              `json:"rejected_hellos"`
+	PerParams map[string]Counters `json:"per_params"`
+}
+
+// String renders the snapshot as JSON (the expvar.Var contract).
+func (st Stats) String() string {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Stats returns a consistent point-in-time snapshot of the per-params
+// counters. Safe to call concurrently with serving.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Rejected:  s.rejected.Load(),
+		PerParams: make(map[string]Counters, len(s.tenants)),
+	}
+	for _, t := range s.tenants {
+		st.PerParams[t.scheme.Params().Name()] = Counters{
+			Handshakes:     t.handshakes.Load(),
+			Failures:       t.failures.Load(),
+			Retries:        t.retries.Load(),
+			Rekeys:         t.rekeys.Load(),
+			ActiveChannels: t.active.Load(),
+		}
+	}
+	return st
+}
+
+// ParamsServed lists the served parameter sets, default first, the rest
+// by wire ID.
+func (s *Server) ParamsServed() []*ringlwe.Params {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]int, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]*ringlwe.Params, 0, len(ids))
+	if t := s.tenants[s.defaultID]; t != nil {
+		out = append(out, t.scheme.Params())
+	}
+	for _, id := range ids {
+		if uint16(id) != s.defaultID {
+			out = append(out, s.tenants[uint16(id)].scheme.Params())
+		}
+	}
+	return out
+}

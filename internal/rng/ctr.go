@@ -1,0 +1,77 @@
+package rng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"io"
+)
+
+// CTRReader is a fast deterministic random bit generator: AES-128 in
+// counter mode over an all-zero plaintext, keyed from a seed. It is the
+// ROADMAP-flagged DRBG for feeding randomness-hungry sampler backends (the
+// cdt sampler's ≈65 bits/sample appetite) without paying a crypto/rand
+// syscall per refill: one seed read from the OS amortizes over the whole
+// stream, and AES-CTR runs on the AES-NI unit at several GB/s.
+//
+// It implements io.Reader, so it plugs straight into the public
+// ringlwe.WithRandom option, and it forks: workspaces of a scheme built
+// over a CTRReader each receive an independently keyed child stream (see
+// ForkReader), which is how the channel server gives every pooled
+// workspace its own buffered entropy source.
+//
+// Like HashDRBG it never reseeds; the stream is as unpredictable as
+// AES-128 against anyone who does not know the seed. Seed it from
+// crypto/rand (see NewCTRReaderOS) for cryptographic use, or from a fixed
+// seed for reproducible simulation.
+type CTRReader struct {
+	stream cipher.Stream
+}
+
+// NewCTRReader builds a generator over the given seed material: the seed
+// is hashed to 32 bytes, the first 16 key AES-128 and the last 16 form the
+// initial counter block, so any seed length is accepted and the whole
+// 256-bit seed state is spent.
+func NewCTRReader(seed []byte) *CTRReader {
+	state := sha256.Sum256(seed)
+	block, err := aes.NewCipher(state[:16])
+	if err != nil {
+		// aes.NewCipher fails only on invalid key length; 16 is valid.
+		panic("rng: " + err.Error())
+	}
+	return &CTRReader{stream: cipher.NewCTR(block, state[16:])}
+}
+
+// NewCTRReaderOS builds a generator seeded with 256 bits from the
+// operating system CSPRNG — the recommended per-scheme entropy source for
+// servers: one OS read at construction, then syscall-free randomness. It
+// panics if crypto/rand fails, mirroring how the samplers treat a dead
+// entropy source as a fatal fault.
+func NewCTRReaderOS() *CTRReader {
+	var seed [32]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		panic("rng: crypto/rand failed: " + err.Error())
+	}
+	return NewCTRReader(seed[:])
+}
+
+// Read fills p with the next bytes of the keystream. It never fails.
+func (c *CTRReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	c.stream.XORKeyStream(p, p)
+	return len(p), nil
+}
+
+// ForkReader derives an independently keyed child generator from the next
+// 32 bytes of this stream, consuming parent state (callers serialize forks
+// against reads, as with Forker). Each workspace forked off a
+// CTRReader-backed scheme gets its own child this way, so concurrent
+// workspaces never contend on one stream.
+func (c *CTRReader) ForkReader() io.Reader {
+	var seed [32]byte
+	c.Read(seed[:])
+	return NewCTRReader(seed[:])
+}

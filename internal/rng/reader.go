@@ -38,3 +38,23 @@ func (s *ReaderSource) Uint32() uint32 {
 	s.pos += 4
 	return v
 }
+
+// readerForker is implemented by readers (CTRReader) that can spawn an
+// independent child stream of their own kind.
+type readerForker interface{ ForkReader() io.Reader }
+
+// Fork derives an independent child source. A wrapped reader that can fork
+// natively (CTRReader) yields a child of its own kind — this is how every
+// workspace of a WithRandom(NewCTRReader(…)) scheme gets a private AES-CTR
+// stream; any other reader seeds a HashDRBG child from 256 bits of parent
+// output, matching the generic ForkSource fallback.
+func (s *ReaderSource) Fork() Source {
+	if f, ok := s.r.(readerForker); ok {
+		return NewReaderSource(f.ForkReader())
+	}
+	var seed [32]byte
+	for i := 0; i < len(seed); i += 4 {
+		binary.LittleEndian.PutUint32(seed[i:], s.Uint32())
+	}
+	return NewHashDRBG(seed[:])
+}

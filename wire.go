@@ -169,20 +169,32 @@ func parseWireHeader(data []byte, wantKind byte) (*Params, []byte, error) {
 	if len(data) < wireHeaderSize {
 		return nil, nil, fmt.Errorf("ringlwe: %s blob is %d bytes, shorter than the %d-byte header", what, len(data), wireHeaderSize)
 	}
-	if data[0] != wireMagic0 || data[1] != wireMagic1 {
-		return nil, nil, fmt.Errorf("ringlwe: %s blob lacks the \"RL\" magic (legacy format? use the Parse* functions with explicit Params)", what)
-	}
-	if data[2] != wireVersion {
-		return nil, nil, fmt.Errorf("ringlwe: %s blob has wire version %d, this library speaks %d", what, data[2], wireVersion)
-	}
-	if data[3] != wantKind {
-		return nil, nil, fmt.Errorf("ringlwe: blob is a %s, want a %s", kindName(data[3]), what)
-	}
-	p, err := paramsByWireID(binary.BigEndian.Uint16(data[4:6]))
+	p, err := parseWireHeaderBytes(data[:wireHeaderSize], wantKind)
 	if err != nil {
-		return nil, nil, fmt.Errorf("ringlwe: %s: %w", what, err)
+		return nil, nil, err
 	}
 	return p, data[wireHeaderSize:], nil
+}
+
+// parseWireHeaderBytes validates exactly the six header bytes and resolves
+// the embedded parameter set — the streaming ReadFrom seam, which reads
+// the header before any body byte exists in memory.
+func parseWireHeaderBytes(hdr []byte, wantKind byte) (*Params, error) {
+	what := kindName(wantKind)
+	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
+		return nil, fmt.Errorf("ringlwe: %s blob lacks the \"RL\" magic (legacy format? use the Parse* functions with explicit Params)", what)
+	}
+	if hdr[2] != wireVersion {
+		return nil, fmt.Errorf("ringlwe: %s blob has wire version %d, this library speaks %d", what, hdr[2], wireVersion)
+	}
+	if hdr[3] != wantKind {
+		return nil, fmt.Errorf("ringlwe: blob is a %s, want a %s", kindName(hdr[3]), what)
+	}
+	p, err := paramsByWireID(binary.BigEndian.Uint16(hdr[4:6]))
+	if err != nil {
+		return nil, fmt.Errorf("ringlwe: %s: %w", what, err)
+	}
+	return p, nil
 }
 
 // Compile-time assertions: the four wire objects satisfy the standard

@@ -1,0 +1,287 @@
+package ringlwe
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+
+	"ringlwe/internal/core"
+)
+
+// Streaming wire I/O. The self-describing format of wire.go is framed so
+// that a receiver can act on the six-byte header alone: magic, version and
+// kind validate the stream, and the registered parameter-set ID determines
+// the exact body length before a single body byte arrives. The WriteTo and
+// ReadFrom implementations below exploit that to move keys, ciphertexts
+// and encapsulation blobs over io.Writer/io.Reader without materializing
+// the whole blob — bodies stream through a small fixed chunk inside
+// internal/core, so a secure-channel server never round-trips a key
+// through an intermediate full-size slice.
+//
+// PublicKey, PrivateKey and Ciphertext implement io.WriterTo and
+// io.ReaderFrom; EncapsulatedKey implements io.WriterTo (and its pointer
+// io.ReaderFrom, reusing capacity). The ReadAny*From functions mirror the
+// ParseAny* family: the parameter set rides in the header, so no params
+// argument is needed.
+
+// MaxWireSize bounds the total size (header plus body) of any
+// self-describing object the streaming readers accept. The header's
+// parameter-set ID determines the body length; a registered Custom set
+// whose objects would exceed this bound is refused before any body byte
+// is read, so a hostile header cannot make a reader commit to an
+// arbitrarily large read.
+const MaxWireSize = 1 << 20
+
+// checkWireSize guards a header-derived body length against MaxWireSize.
+func checkWireSize(what string, bodyLen int) error {
+	if wireHeaderSize+bodyLen > MaxWireSize {
+		return fmt.Errorf("ringlwe: %s body of %d bytes exceeds MaxWireSize", what, bodyLen)
+	}
+	return nil
+}
+
+// wireHeaderPool recycles header buffers: a stack array would escape
+// through the io interface call, and the streaming paths are pinned at
+// zero steady-state allocations.
+var wireHeaderPool = sync.Pool{New: func() any { return new([wireHeaderSize]byte) }}
+
+// writeWireHeader writes the six-byte header for (kind, id) to w.
+func writeWireHeader(w io.Writer, kind byte, id uint16) (int64, error) {
+	hdr := wireHeaderPool.Get().(*[wireHeaderSize]byte)
+	defer wireHeaderPool.Put(hdr)
+	appendWireHeader(hdr[:0], kind, id)
+	n, err := w.Write(hdr[:])
+	return int64(n), err
+}
+
+// readWireHeader reads and validates the six-byte header from r, resolving
+// the embedded parameter set.
+func readWireHeader(r io.Reader, wantKind byte) (*Params, int64, error) {
+	hdr := wireHeaderPool.Get().(*[wireHeaderSize]byte)
+	defer wireHeaderPool.Put(hdr)
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		return nil, int64(n), fmt.Errorf("ringlwe: reading %s header: %w", kindName(wantKind), err)
+	}
+	p, err := parseWireHeaderBytes(hdr[:], wantKind)
+	if err != nil {
+		return nil, int64(n), err
+	}
+	return p, int64(n), nil
+}
+
+// Compile-time assertions: the wire objects satisfy the streaming
+// contracts.
+var (
+	_ io.WriterTo   = (*PublicKey)(nil)
+	_ io.ReaderFrom = (*PublicKey)(nil)
+	_ io.WriterTo   = (*PrivateKey)(nil)
+	_ io.ReaderFrom = (*PrivateKey)(nil)
+	_ io.WriterTo   = (*Ciphertext)(nil)
+	_ io.ReaderFrom = (*Ciphertext)(nil)
+	_ io.WriterTo   = EncapsulatedKey(nil)
+	_ io.ReaderFrom = (*EncapsulatedKey)(nil)
+)
+
+// WriteTo streams the self-describing encoding of the public key to w
+// (io.WriterTo): the six-byte header, then the packed body in fixed-size
+// chunks — no intermediate full-blob slice. The parameter set must be
+// registered; P1 and P2 always are.
+func (pk *PublicKey) WriteTo(w io.Writer) (int64, error) {
+	id, err := wireID(pk.params)
+	if err != nil {
+		return 0, err
+	}
+	n, err := writeWireHeader(w, wireKindPublicKey, id)
+	if err != nil {
+		return n, err
+	}
+	m, err := pk.inner.WriteBodyTo(w)
+	return n + m, err
+}
+
+// ReadFrom streams a self-describing public key from r (io.ReaderFrom),
+// recovering the parameter set from the header and reading exactly the
+// body that set prescribes.
+func (pk *PublicKey) ReadFrom(r io.Reader) (int64, error) {
+	p, n, err := readWireHeader(r, wireKindPublicKey)
+	if err != nil {
+		return n, err
+	}
+	if err := checkWireSize("public key", 2*p.inner.PolyBytes()); err != nil {
+		return n, err
+	}
+	inner, m, err := core.ReadPublicKeyBodyFrom(p.inner, r)
+	if err != nil {
+		return n + m, fmt.Errorf("ringlwe: %w", err)
+	}
+	pk.params, pk.inner = p, inner
+	return n + m, nil
+}
+
+// ReadAnyPublicKeyFrom streams a self-describing public key from r without
+// a params argument: the parameter set rides in the header.
+func ReadAnyPublicKeyFrom(r io.Reader) (*PublicKey, error) {
+	pk := new(PublicKey)
+	if _, err := pk.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return pk, nil
+}
+
+// WriteTo streams the self-describing encoding of the private key to w
+// (io.WriterTo).
+func (sk *PrivateKey) WriteTo(w io.Writer) (int64, error) {
+	id, err := wireID(sk.params)
+	if err != nil {
+		return 0, err
+	}
+	n, err := writeWireHeader(w, wireKindPrivateKey, id)
+	if err != nil {
+		return n, err
+	}
+	m, err := sk.inner.WriteBodyTo(w)
+	return n + m, err
+}
+
+// ReadFrom streams a self-describing private key from r (io.ReaderFrom).
+func (sk *PrivateKey) ReadFrom(r io.Reader) (int64, error) {
+	p, n, err := readWireHeader(r, wireKindPrivateKey)
+	if err != nil {
+		return n, err
+	}
+	if err := checkWireSize("private key", p.inner.PolyBytes()); err != nil {
+		return n, err
+	}
+	inner, m, err := core.ReadPrivateKeyBodyFrom(p.inner, r)
+	if err != nil {
+		return n + m, fmt.Errorf("ringlwe: %w", err)
+	}
+	sk.params, sk.inner = p, inner
+	return n + m, nil
+}
+
+// ReadAnyPrivateKeyFrom streams a self-describing private key from r
+// without a params argument.
+func ReadAnyPrivateKeyFrom(r io.Reader) (*PrivateKey, error) {
+	sk := new(PrivateKey)
+	if _, err := sk.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// WriteTo streams the self-describing encoding of the ciphertext to w
+// (io.WriterTo).
+func (ct *Ciphertext) WriteTo(w io.Writer) (int64, error) {
+	id, err := wireID(ct.params)
+	if err != nil {
+		return 0, err
+	}
+	n, err := writeWireHeader(w, wireKindCiphertext, id)
+	if err != nil {
+		return n, err
+	}
+	m, err := ct.inner.WriteBodyTo(w)
+	return n + m, err
+}
+
+// ReadFrom streams a self-describing ciphertext from r (io.ReaderFrom).
+// When ct already holds buffers of the header's parameter set — a
+// NewCiphertext destination reused across reads — the body lands in them
+// and the read allocates nothing; otherwise fresh buffers are allocated.
+func (ct *Ciphertext) ReadFrom(r io.Reader) (int64, error) {
+	p, n, err := readWireHeader(r, wireKindCiphertext)
+	if err != nil {
+		return n, err
+	}
+	if err := checkWireSize("ciphertext", 2*p.inner.PolyBytes()); err != nil {
+		return n, err
+	}
+	inner := ct.inner
+	if inner == nil || ct.params.inner != p.inner {
+		inner = core.NewCiphertext(p.inner)
+	}
+	m, err := core.ReadCiphertextBodyFrom(inner, r)
+	if err != nil {
+		return n + m, fmt.Errorf("ringlwe: %w", err)
+	}
+	ct.params, ct.inner = p, inner
+	return n + m, nil
+}
+
+// ReadAnyCiphertextFrom streams a self-describing ciphertext from r
+// without a params argument.
+func ReadAnyCiphertextFrom(r io.Reader) (*Ciphertext, error) {
+	ct := new(Ciphertext)
+	if _, err := ct.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// WriteTo streams the self-describing encoding of the encapsulation blob
+// to w (io.WriterTo). See EncapsulatedKey.AppendBinary for the Custom-set
+// ambiguity caveat.
+func (ek EncapsulatedKey) WriteTo(w io.Writer) (int64, error) {
+	id, err := ek.inferWireID()
+	if err != nil {
+		return 0, err
+	}
+	n, err := writeWireHeader(w, wireKindEncapsulatedKey, id)
+	if err != nil {
+		return n, err
+	}
+	m, err := w.Write(ek)
+	return n + int64(m), err
+}
+
+// ReadFrom streams a self-describing encapsulation blob from r
+// (io.ReaderFrom), leaving the raw Decapsulate-ready bytes in ek and
+// reusing its capacity — zero allocations once grown.
+func (ek *EncapsulatedKey) ReadFrom(r io.Reader) (int64, error) {
+	_, body, n, err := readEncapsulatedFrom(r, ek)
+	if err != nil {
+		return n, err
+	}
+	*ek = body
+	return n, nil
+}
+
+// ReadAnyEncapsulatedKeyFrom streams a self-describing encapsulation blob
+// from r, returning the parameter set recovered from the header alongside
+// the raw Decapsulate-ready bytes.
+func ReadAnyEncapsulatedKeyFrom(r io.Reader) (*Params, EncapsulatedKey, error) {
+	var ek EncapsulatedKey
+	p, body, _, err := readEncapsulatedFrom(r, &ek)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, body, nil
+}
+
+// readEncapsulatedFrom reads header and body into reuse's capacity,
+// validating body length and the embedded legacy ciphertext tag against
+// the header's parameter set (the same invariants parseEncapsulatedBody
+// enforces on the buffered path).
+func readEncapsulatedFrom(r io.Reader, reuse *EncapsulatedKey) (*Params, EncapsulatedKey, int64, error) {
+	p, n, err := readWireHeader(r, wireKindEncapsulatedKey)
+	if err != nil {
+		return nil, nil, n, err
+	}
+	size := p.EncapsulationSize()
+	if err := checkWireSize("encapsulation", size); err != nil {
+		return nil, nil, n, err
+	}
+	body := slices.Grow((*reuse)[:0], size)[:size]
+	m, err := io.ReadFull(r, body)
+	n += int64(m)
+	if err != nil {
+		return nil, nil, n, fmt.Errorf("ringlwe: reading encapsulation body: %w", err)
+	}
+	if body[0] != core.LegacyTag(p.inner) {
+		return nil, nil, n, fmt.Errorf("ringlwe: encapsulation body carries ciphertext tag %d, want %d for %s", body[0], core.LegacyTag(p.inner), p.Name())
+	}
+	return p, body, n, nil
+}

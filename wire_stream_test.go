@@ -1,0 +1,290 @@
+package ringlwe
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// streamFixtures returns a key pair, ciphertext and encapsulation blob
+// under p from a deterministic scheme.
+func streamFixtures(t *testing.T, p *Params) (*PublicKey, *PrivateKey, *Ciphertext, EncapsulatedKey) {
+	t.Helper()
+	s := NewDeterministic(p, 7101)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, p.MessageSize())
+	for i := range msg {
+		msg[i] = byte(i * 37)
+	}
+	ct, err := s.Encrypt(pk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek, _, err := s.Encapsulate(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, sk, ct, ek
+}
+
+// TestStreamMatchesMarshalBinary pins the streaming writers to the exact
+// bytes of the buffered MarshalBinary encodings: the two paths must stay
+// bit-identical for every object and both standard parameter sets.
+func TestStreamMatchesMarshalBinary(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		pk, sk, ct, ek := streamFixtures(t, p)
+		for _, obj := range []struct {
+			name string
+			wt   io.WriterTo
+			mb   interface{ MarshalBinary() ([]byte, error) }
+		}{
+			{"public key", pk, pk},
+			{"private key", sk, sk},
+			{"ciphertext", ct, ct},
+			{"encapsulated key", ek, ek},
+		} {
+			want, err := obj.mb.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s/%s: MarshalBinary: %v", p.Name(), obj.name, err)
+			}
+			var buf bytes.Buffer
+			n, err := obj.wt.WriteTo(&buf)
+			if err != nil {
+				t.Fatalf("%s/%s: WriteTo: %v", p.Name(), obj.name, err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("%s/%s: WriteTo reported %d bytes, wrote %d", p.Name(), obj.name, n, buf.Len())
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s/%s: streamed bytes differ from MarshalBinary", p.Name(), obj.name)
+			}
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		pk, sk, ct, ek := streamFixtures(t, p)
+
+		var buf bytes.Buffer
+		if _, err := pk.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		gotPK, err := ReadAnyPublicKeyFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotPK.Params().Name() != p.Name() {
+			t.Errorf("%s: public key params came back as %s", p.Name(), gotPK.Params().Name())
+		}
+
+		buf.Reset()
+		if _, err := sk.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		gotSK, err := ReadAnyPrivateKeyFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		buf.Reset()
+		if _, err := ct.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		gotCT, err := ReadAnyCiphertextFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The recovered key opens the recovered ciphertext: full functional
+		// round trip, not just byte equality.
+		s := New(p)
+		msg, err := s.Decrypt(gotSK, gotCT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Decrypt(sk, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(msg, want) {
+			t.Errorf("%s: streamed key/ciphertext decrypt differently", p.Name())
+		}
+		_ = gotPK
+
+		buf.Reset()
+		if _, err := ek.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		gotP, gotEK, err := ReadAnyEncapsulatedKeyFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotP.Name() != p.Name() {
+			t.Errorf("%s: encapsulation params came back as %s", p.Name(), gotP.Name())
+		}
+		if !bytes.Equal(gotEK, ek) {
+			t.Errorf("%s: encapsulation body changed in transit", p.Name())
+		}
+	}
+}
+
+// TestStreamReadFromReuse pins that a preallocated Ciphertext destination
+// and a grown EncapsulatedKey are reused across ReadFrom calls.
+func TestStreamReadFromReuse(t *testing.T) {
+	p := P1()
+	_, _, ct, ek := streamFixtures(t, p)
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCiphertext(p)
+	c1 := &dst.inner.C1[0]
+	if _, err := dst.ReadFrom(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if &dst.inner.C1[0] != c1 {
+		t.Error("Ciphertext.ReadFrom reallocated matching buffers")
+	}
+
+	ekBlob, err := ek.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dstEK EncapsulatedKey
+	if _, err := dstEK.ReadFrom(bytes.NewReader(ekBlob)); err != nil {
+		t.Fatal(err)
+	}
+	first := &dstEK[0]
+	if _, err := dstEK.ReadFrom(bytes.NewReader(ekBlob)); err != nil {
+		t.Fatal(err)
+	}
+	if &dstEK[0] != first {
+		t.Error("EncapsulatedKey.ReadFrom reallocated despite sufficient capacity")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	p := P1()
+	pk, _, ct, ek := streamFixtures(t, p)
+
+	blob, err := pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every boundary: inside the header, at the header
+	// boundary, inside the body.
+	for _, cut := range []int{0, 3, wireHeaderSize, wireHeaderSize + 1, len(blob) - 1} {
+		if _, err := ReadAnyPublicKeyFrom(bytes.NewReader(blob[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Kind confusion: a ciphertext stream is not a public key.
+	ctBlob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAnyPublicKeyFrom(bytes.NewReader(ctBlob)); err == nil {
+		t.Error("ciphertext stream accepted as a public key")
+	}
+	// Unknown params ID.
+	bad := append([]byte(nil), blob...)
+	bad[4], bad[5] = 0xBE, 0xEF
+	if _, err := ReadAnyPublicKeyFrom(bytes.NewReader(bad)); !errors.Is(err, ErrUnknownParams) {
+		t.Errorf("unknown params ID: got %v, want ErrUnknownParams", err)
+	}
+	// Corrupted magic.
+	bad = append([]byte(nil), blob...)
+	bad[0] = 'X'
+	if _, err := ReadAnyPublicKeyFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Encapsulation with a mismatched embedded legacy tag.
+	ekBlob, err := ek.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = append([]byte(nil), ekBlob...)
+	bad[wireHeaderSize] ^= 0xFF
+	if _, _, err := ReadAnyEncapsulatedKeyFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("encapsulation with mismatched embedded tag accepted")
+	}
+	// Out-of-range coefficient in the streamed body must be rejected.
+	bad = append([]byte(nil), blob...)
+	for i := wireHeaderSize; i < wireHeaderSize+4; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := ReadAnyPublicKeyFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range streamed coefficient accepted")
+	}
+}
+
+// TestStreamZeroAllocWrite pins the tentpole claim: the streaming writers
+// move bodies through a small pooled chunk, never an intermediate
+// full-blob slice — zero allocations per WriteTo in steady state.
+func TestStreamZeroAllocWrite(t *testing.T) {
+	for _, p := range []*Params{P1(), P2()} {
+		pk, sk, ct, ek := streamFixtures(t, p)
+		for _, obj := range []struct {
+			name string
+			wt   io.WriterTo
+		}{
+			{"PublicKey", pk},
+			{"PrivateKey", sk},
+			{"Ciphertext", ct},
+			{"EncapsulatedKey", ek},
+		} {
+			if allocs := testing.AllocsPerRun(200, func() {
+				if _, err := obj.wt.WriteTo(io.Discard); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs > 0 {
+				t.Errorf("%s/%s: WriteTo allocates %.1f/op, want 0 (no intermediate blob)",
+					p.Name(), obj.name, allocs)
+			}
+		}
+	}
+}
+
+// TestStreamZeroAllocRead pins the reusing read paths: a preallocated
+// ciphertext destination and a grown encapsulation buffer read with zero
+// allocations per op.
+func TestStreamZeroAllocRead(t *testing.T) {
+	p := P1()
+	_, _, ct, ek := streamFixtures(t, p)
+	ctBlob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCiphertext(p)
+	rd := bytes.NewReader(ctBlob)
+	if allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(ctBlob)
+		if _, err := dst.ReadFrom(rd); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("Ciphertext.ReadFrom into a matching destination allocates %.1f/op, want 0", allocs)
+	}
+
+	ekBlob, err := ek.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dstEK EncapsulatedKey
+	if _, err := dstEK.ReadFrom(bytes.NewReader(ekBlob)); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(ekBlob)
+		if _, err := dstEK.ReadFrom(rd); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("EncapsulatedKey.ReadFrom with capacity allocates %.1f/op, want 0", allocs)
+	}
+}
