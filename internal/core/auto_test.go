@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"ringlwe/internal/cpu"
+	"ringlwe/internal/rng"
+	"ringlwe/internal/sampler"
+)
+
+// TestAutoResolution pins the cpu-dispatch seam in NewWithOptions: empty
+// and "auto" backend names resolve to the machine's best registered
+// backends, and the resolved scheme still round-trips.
+func TestAutoResolution(t *testing.T) {
+	t.Setenv(cpu.EnvForceEngine, "")
+	t.Setenv(cpu.EnvForceSampler, "")
+	for _, name := range []string{"", "auto"} {
+		s, err := NewWithOptions(P1(), rng.NewXorshift128(7), Options{Engine: name, Sampler: name})
+		if err != nil {
+			t.Fatalf("Options{%q}: %v", name, err)
+		}
+		if got, want := s.Engine(), cpu.BestNTTEngine(); got != want {
+			t.Errorf("Options{%q}: engine %q, want dispatch choice %q", name, got, want)
+		}
+		if got, want := s.Sampler(), cpu.BestSamplerEngine(); got != want {
+			t.Errorf("Options{%q}: sampler %q, want dispatch choice %q", name, got, want)
+		}
+		pk, sk, err := s.GenerateKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, P1().MessageBytes())
+		msg[0], msg[31] = 0xA5, 0x5A
+		ct, err := s.Encrypt(pk, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("auto-resolved scheme failed to round-trip at byte %d", i)
+			}
+		}
+	}
+}
+
+// TestAutoResolutionForcedFailsLoudly pins the CI contract: a forced
+// backend name is used verbatim, so an unregistered name must surface as
+// a construction error instead of being silently corrected — and a valid
+// forced name must win over detection.
+func TestAutoResolutionForcedFailsLoudly(t *testing.T) {
+	t.Setenv(cpu.EnvForceEngine, "no-such-engine")
+	if _, err := NewWithOptions(P1(), rng.NewXorshift128(7), Options{Engine: "auto", Sampler: sampler.Default}); err == nil {
+		t.Error("forced unregistered engine did not fail construction")
+	}
+	t.Setenv(cpu.EnvForceEngine, "barrett")
+	s, err := NewWithOptions(P1(), rng.NewXorshift128(7), Options{Engine: "auto", Sampler: sampler.Default})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine() != "barrett" {
+		t.Errorf("forced engine ignored: resolved to %q", s.Engine())
+	}
+
+	t.Setenv(cpu.EnvForceEngine, "")
+	t.Setenv(cpu.EnvForceSampler, "no-such-sampler")
+	if _, err := NewWithOptions(P1(), rng.NewXorshift128(7), Options{Sampler: "auto"}); err == nil {
+		t.Error("forced unregistered sampler did not fail construction")
+	}
+	t.Setenv(cpu.EnvForceSampler, "cdt")
+	s, err = NewWithOptions(P1(), rng.NewXorshift128(7), Options{Sampler: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sampler() != "cdt" {
+		t.Errorf("forced sampler ignored: resolved to %q", s.Sampler())
+	}
+}
+
+// TestExplicitNamesStillFailLoudly: auto-resolution fallback must not
+// leak into the explicit-name path.
+func TestExplicitNamesStillFailLoudly(t *testing.T) {
+	if _, err := NewWithOptions(P1(), rng.NewXorshift128(7), Options{Engine: "bogus"}); err == nil {
+		t.Error("explicit unregistered engine did not fail")
+	}
+	if _, err := NewWithOptions(P1(), rng.NewXorshift128(7), Options{Sampler: "bogus"}); err == nil {
+		t.Error("explicit unregistered sampler did not fail")
+	}
+}

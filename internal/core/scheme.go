@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ringlwe/internal/cpu"
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
 	"ringlwe/internal/sampler"
@@ -126,19 +127,42 @@ type Options struct {
 }
 
 // NewWithOptions is New with the full option set resolved by the caller.
+//
+// An empty or "auto" backend name resolves through the cpu dispatch layer
+// to the best backend for the running machine (cpu.BestNTTEngine,
+// cpu.BestSamplerEngine). Auto-resolution is allowed to fall back to the
+// registry default when the dispatched backend rejects this parameter set
+// (e.g. the vector engine's modulus/dimension gates) — unless the choice
+// was forced via the RLWE_FORCE_* environment knobs, in which case the
+// construction error surfaces. Explicit names always fail loudly.
 func NewWithOptions(params *Params, src rng.Source, opts Options) (*Scheme, error) {
-	eng, err := ntt.NewEngine(opts.Engine, params.Tables)
+	engName, engAuto := opts.Engine, false
+	if engName == "" || engName == "auto" {
+		engName, engAuto = cpu.BestNTTEngine(), true
+	}
+	eng, err := ntt.NewEngine(engName, params.Tables)
+	if err != nil && engAuto && !cpu.EngineForced() {
+		eng, err = ntt.NewEngine(ntt.DefaultEngine, params.Tables)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	smpName, smpAuto := opts.Sampler, false
+	if smpName == "" || smpName == "auto" {
+		smpName, smpAuto = cpu.BestSamplerEngine(), true
 	}
 	s := &Scheme{
 		Params:   params,
 		eng:      eng,
-		smp:      opts.Sampler,
+		smp:      smpName,
 		ctDecode: opts.ConstantTimeDecode,
 		src:      rng.NewLockedSource(src),
 	}
 	def, err := newWorkspace(s, s.src)
+	if err != nil && smpAuto && !cpu.SamplerForced() {
+		s.smp = sampler.Default
+		def, err = newWorkspace(s, s.src)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+// Package cpu is the hardware-dispatch seam: it detects the SIMD
+// capability of the running processor once and maps it to the best
+// registered NTT and sampler backends. The public Fast() profile and the
+// core "auto" engine resolution route through it, so a binary compiled
+// once picks up wider kernels on wider machines — while the registry
+// defaults (ntt.DefaultEngine, sampler.Default), and with them every
+// known-answer stream, never move.
+//
+// Detection is advisory, not gating: the "vector" NTT engine and the
+// "wide-ky" sampler are plain Go and run correctly anywhere; the lane
+// width only predicts whether their 8/16-wide unrolled kernels pay off.
+// Two environment knobs override the choice for CI and benchmarking:
+//
+//	RLWE_FORCE_ENGINE   names the NTT backend "auto" resolves to
+//	RLWE_FORCE_SAMPLER  names the sampler backend "auto" resolves to
+//
+// Forced names are used verbatim — a typo or an unregistered name fails
+// scheme construction loudly instead of being silently corrected, which
+// is exactly what a CI matrix wants.
+package cpu
+
+import (
+	"os"
+	"sync"
+
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/sampler"
+)
+
+// Info describes the detected vector capability of the running CPU.
+type Info struct {
+	// ISA names the widest usable SIMD family: "avx2", "sse2", "neon",
+	// or "generic" when no 128-bit integer unit is assumed.
+	ISA string
+	// LaneWidth is how many 32-bit coefficient lanes one vector
+	// operation of that family covers (8 for AVX2, 4 for SSE2/NEON,
+	// 1 for generic targets).
+	LaneWidth int
+}
+
+var (
+	detectOnce sync.Once
+	detected   Info
+)
+
+// Detect returns the running CPU's capability, probing the hardware once.
+func Detect() Info {
+	detectOnce.Do(func() { detected = detect() })
+	return detected
+}
+
+// Env knob names, exported so CI configuration has one source of truth.
+const (
+	EnvForceEngine  = "RLWE_FORCE_ENGINE"
+	EnvForceSampler = "RLWE_FORCE_SAMPLER"
+)
+
+// EngineForced reports whether RLWE_FORCE_ENGINE pins the NTT choice.
+// Forced choices must fail loudly, so auto-resolution fallbacks are
+// suppressed when this is true.
+func EngineForced() bool { return os.Getenv(EnvForceEngine) != "" }
+
+// SamplerForced reports whether RLWE_FORCE_SAMPLER pins the sampler.
+func SamplerForced() bool { return os.Getenv(EnvForceSampler) != "" }
+
+// BestNTTEngine returns the NTT backend name "auto" resolves to on this
+// machine: the forced name verbatim if RLWE_FORCE_ENGINE is set, the
+// 8-lane "vector" kernels wherever a 128-bit integer unit is available,
+// and the registry default elsewhere.
+func BestNTTEngine() string {
+	if name := os.Getenv(EnvForceEngine); name != "" {
+		return name
+	}
+	if Detect().LaneWidth >= 4 {
+		return "vector"
+	}
+	return ntt.DefaultEngine
+}
+
+// BestSamplerEngine returns the Gaussian sampler backend name "auto"
+// resolves to on this machine: the forced name verbatim if
+// RLWE_FORCE_SAMPLER is set, the 16-coefficient "wide-ky" batch wherever
+// a 128-bit integer unit is available, and the registry default
+// elsewhere.
+func BestSamplerEngine() string {
+	if name := os.Getenv(EnvForceSampler); name != "" {
+		return name
+	}
+	if Detect().LaneWidth >= 4 {
+		return "wide-ky"
+	}
+	return sampler.Default
+}

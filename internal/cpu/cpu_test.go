@@ -1,0 +1,74 @@
+package cpu
+
+import (
+	"testing"
+
+	"ringlwe/internal/ntt"
+	"ringlwe/internal/sampler"
+)
+
+// TestDetect pins the capability report's invariants on whatever machine
+// the tests run: a named ISA and one of the three defined lane widths,
+// stable across calls.
+func TestDetect(t *testing.T) {
+	info := Detect()
+	if info.ISA == "" {
+		t.Error("Detect().ISA is empty")
+	}
+	switch info.LaneWidth {
+	case 1, 4, 8:
+	default:
+		t.Errorf("LaneWidth = %d, want 1, 4 or 8", info.LaneWidth)
+	}
+	if again := Detect(); again != info {
+		t.Errorf("Detect not stable: %+v then %+v", info, again)
+	}
+}
+
+// TestBestBackendsRegistered pins the dispatch targets to real registry
+// entries: whatever this machine resolves to must be constructible.
+func TestBestBackendsRegistered(t *testing.T) {
+	t.Setenv(EnvForceEngine, "")
+	t.Setenv(EnvForceSampler, "")
+	eng := BestNTTEngine()
+	found := false
+	for _, n := range ntt.EngineNames() {
+		found = found || n == eng
+	}
+	if !found {
+		t.Errorf("BestNTTEngine() = %q, not registered (%v)", eng, ntt.EngineNames())
+	}
+	smp := BestSamplerEngine()
+	found = false
+	for _, n := range sampler.Names() {
+		found = found || n == smp
+	}
+	if !found {
+		t.Errorf("BestSamplerEngine() = %q, not registered (%v)", smp, sampler.Names())
+	}
+	if EngineForced() || SamplerForced() {
+		t.Error("force flags set with empty environment")
+	}
+}
+
+// TestForceEnv pins the override contract: forced names pass through
+// verbatim — including names that do not exist, which must surface at
+// construction, not be silently corrected here.
+func TestForceEnv(t *testing.T) {
+	t.Setenv(EnvForceEngine, "barrett")
+	t.Setenv(EnvForceSampler, "cdt")
+	if got := BestNTTEngine(); got != "barrett" {
+		t.Errorf("forced engine: got %q, want barrett", got)
+	}
+	if got := BestSamplerEngine(); got != "cdt" {
+		t.Errorf("forced sampler: got %q, want cdt", got)
+	}
+	if !EngineForced() || !SamplerForced() {
+		t.Error("force flags not reported")
+	}
+
+	t.Setenv(EnvForceEngine, "no-such-engine")
+	if got := BestNTTEngine(); got != "no-such-engine" {
+		t.Errorf("forced engine not verbatim: got %q", got)
+	}
+}

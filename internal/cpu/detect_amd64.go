@@ -1,0 +1,32 @@
+//go:build amd64
+
+package cpu
+
+// cpuid executes the CPUID instruction with the given leaf and subleaf
+// (implemented in cpu_amd64.s; no dependency on x/sys).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0, which reports whether the
+// operating system preserves the AVX register state across context
+// switches. Only valid when CPUID leaf 1 reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+// detect probes CPUID: AVX2 needs the feature bit (leaf 7 EBX bit 5),
+// AVX hardware support (leaf 1 ECX bit 28), and OS state support
+// (OSXSAVE + XCR0 bits 1 and 2 — SSE and AVX state both saved). SSE2 is
+// architectural on amd64, so the floor is a 4-lane 128-bit unit.
+func detect() Info {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID >= 7 {
+		_, _, ecx1, _ := cpuid(1, 0)
+		const osxsave, avx = 1 << 27, 1 << 28
+		if ecx1&osxsave != 0 && ecx1&avx != 0 {
+			if xcr0, _ := xgetbv(); xcr0&6 == 6 {
+				if _, ebx7, _, _ := cpuid(7, 0); ebx7&(1<<5) != 0 {
+					return Info{ISA: "avx2", LaneWidth: 8}
+				}
+			}
+		}
+	}
+	return Info{ISA: "sse2", LaneWidth: 4}
+}

@@ -1,0 +1,10 @@
+//go:build arm64
+
+package cpu
+
+// detect assumes NEON: Advanced SIMD is architectural on AArch64, so
+// every arm64 target has a 128-bit integer unit — four 32-bit lanes —
+// without any feature probing.
+func detect() Info {
+	return Info{ISA: "neon", LaneWidth: 4}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64 && !arm64
+
+package cpu
+
+// detect on targets without a known vector unit reports a single lane,
+// steering auto-resolution to the scalar registry defaults. The wide
+// backends still work here if named explicitly — they are plain Go —
+// they just aren't presumed profitable.
+func detect() Info {
+	return Info{ISA: "generic", LaneWidth: 1}
+}

@@ -34,7 +34,7 @@ func engineTables(t *testing.T, q uint32, n int) *Tables {
 // tables, and report its own name.
 func TestEngineRegistry(t *testing.T) {
 	names := EngineNames()
-	for _, want := range []string{"barrett", "packed", "shoup"} {
+	for _, want := range []string{"barrett", "packed", "shoup", "vector"} {
 		found := false
 		for _, n := range names {
 			found = found || n == want

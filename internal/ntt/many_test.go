@@ -104,6 +104,51 @@ func TestForwardManyZeroAllocShoup(t *testing.T) {
 	}
 }
 
+// TestForwardManyConcurrent shares one engine instance across goroutines
+// each transforming its own batch — the workspace concurrency model.
+// Engines must be stateless after construction (tables are read-only), so
+// this is race-free; the CI race detector holds every backend to it,
+// including the vector engine's lane-block kernels.
+func TestForwardManyConcurrent(t *testing.T) {
+	tb := manyTestTables(t)
+	const workers = 8
+	for _, name := range EngineNames() {
+		eng, err := NewEngine(name, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]Poly, workers)
+		got := make([][]Poly, workers)
+		for w := 0; w < workers; w++ {
+			want[w] = randomPolys(tb, 3, uint64(1000+w))
+			got[w] = randomPolys(tb, 3, uint64(1000+w))
+			for i := range want[w] {
+				eng.Forward(want[w][i])
+			}
+		}
+		done := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				eng.ForwardMany(got[w])
+				done <- w
+			}(w)
+		}
+		for i := 0; i < workers; i++ {
+			<-done
+		}
+		for w := 0; w < workers; w++ {
+			for i := range want[w] {
+				for j := range want[w][i] {
+					if got[w][i][j] != want[w][i][j] {
+						t.Fatalf("%s worker %d poly %d coeff %d: concurrent %d, sequential %d",
+							name, w, i, j, got[w][i][j], want[w][i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestForwardManyLengthPanics pins the length validation.
 func TestForwardManyLengthPanics(t *testing.T) {
 	tb := manyTestTables(t)

@@ -1,0 +1,20 @@
+//go:build amd64
+
+package ntt
+
+// amd64 binding of the vector-engine kernels. Today all three entry
+// points run the portable lane-block kernels, which the amd64 backend of
+// the Go compiler turns into flat, bounds-check-free straight-line code
+// (and which GOAMD64=v3 builds lower onto the wider instruction forms).
+// This file is the drop-in seam for hand-written AVX2/AVX-512 kernels: an
+// assembly implementation replaces the aliases below — same signatures,
+// same lazy-domain contract, the lane-width bound lemma in internal/zq
+// already proves the [0, 2q) invariants an 8×32-bit SIMD lane needs — and
+// no caller changes.
+
+// vectorKernelISA names the instruction family the active kernels target,
+// for diagnostics and the CPU-dispatch layer.
+const vectorKernelISA = "amd64"
+
+func vecForward(e *VectorEngine, a Poly) { vecForwardGeneric(e, a) }
+func vecInverse(e *VectorEngine, a Poly) { vecInverseGeneric(e, a) }

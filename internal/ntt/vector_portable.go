@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package ntt
+
+// Portable binding of the vector-engine kernels: every GOARCH without a
+// dedicated file runs the generic lane-block kernels. The kernels are
+// plain Go, so the "vector" backend is available — and still the fastest
+// registered engine — on any 64-bit target; arm64 NEON assembly would get
+// its own binding file exactly like vector_amd64.go.
+
+// vectorKernelISA names the instruction family the active kernels target,
+// for diagnostics and the CPU-dispatch layer.
+const vectorKernelISA = "portable"
+
+func vecForward(e *VectorEngine, a Poly) { vecForwardGeneric(e, a) }
+func vecInverse(e *VectorEngine, a Poly) { vecInverseGeneric(e, a) }

@@ -29,7 +29,7 @@ func testConfig(t testing.TB) *Config {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"batched-ky", "cdt", "knuth-yao"} {
+	for _, want := range []string{"batched-ky", "cdt", "knuth-yao", "wide-ky"} {
 		found := false
 		for _, n := range names {
 			if n == want {

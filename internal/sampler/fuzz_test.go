@@ -7,14 +7,16 @@ import (
 	"ringlwe/internal/rng"
 )
 
-// FuzzSamplerDifferential drives the batched backend against the scalar
-// reference under fuzz-chosen seeds of one shared deterministic generator
-// family. The two backends spend their randomness differently, so their
-// outputs diverge bit-wise by design; what must agree, for every seed, is
-// the accounting — both resolve exactly one magnitude per coefficient
-// across the three tiers — and the distribution, pinned by a chi-square
+// FuzzSamplerDifferential drives every registered backend against the
+// scalar reference under fuzz-chosen seeds of one shared deterministic
+// generator family. The backends spend their randomness differently, so
+// their outputs diverge bit-wise by design; what must agree, for every
+// seed and every backend, is the accounting — LUT-based backends resolve
+// exactly one magnitude per coefficient across the three tiers, cdt keeps
+// its counters at zero — and the distribution, pinned by a chi-square
 // against the exact matrix probabilities generous enough never to fire on
-// a faithful sampler.
+// a faithful sampler. The backend list comes from the registry, so a new
+// engine is covered the moment it registers.
 func FuzzSamplerDifferential(f *testing.F) {
 	f.Add(uint64(1))
 	f.Add(uint64(0xDEADBEEF))
@@ -22,48 +24,52 @@ func FuzzSamplerDifferential(f *testing.F) {
 	cfg := testConfig(f)
 	const q = 7681
 	const total = 1 << 14
+	names := Names()
 	f.Fuzz(func(t *testing.T, seed uint64) {
-		batched, err := New("batched-ky", cfg, rng.NewXorshift128(seed))
-		if err != nil {
-			t.Fatal(err)
-		}
-		reference, err := New("knuth-yao", cfg, rng.NewXorshift128(seed))
-		if err != nil {
-			t.Fatal(err)
-		}
-		engines := []Engine{batched, reference}
-		hists := make([]map[int32]uint64, len(engines))
-		for i, e := range engines {
-			hists[i] = signedHist(e, q, total)
+		refStats := Stats{}
+		stats := make([]Stats, len(names))
+		for i, name := range names {
+			e, err := New(name, cfg, rng.NewXorshift128(seed))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			hist := signedHist(e, q, total)
 			st := e.Stats()
+			stats[i] = st
 			if st.Samples != total {
-				t.Fatalf("%s: Samples = %d, want %d", e.Name(), st.Samples, total)
+				t.Fatalf("%s: Samples = %d, want %d", name, st.Samples, total)
 			}
-			if got := st.LUT1Hits + st.LUT2Hits + st.ScanResolved; got != st.Samples {
-				t.Fatalf("%s: resolution counters total %d, want %d", e.Name(), got, st.Samples)
+			resolved := st.LUT1Hits + st.LUT2Hits + st.ScanResolved
+			if name == "cdt" {
+				if resolved != 0 {
+					t.Fatalf("cdt: resolution counters total %d, want 0", resolved)
+				}
+			} else if resolved != st.Samples {
+				t.Fatalf("%s: resolution counters total %d, want %d", name, resolved, st.Samples)
 			}
-		}
-		// Counter totals agree across backends: same sample count, and the
-		// LUT hit rates are within the statistical band of each other
-		// (identical tables, independent bits — binomial fluctuation at
-		// p≈0.975 over 2^14 draws stays well inside 1%).
-		b, r := engines[0].Stats(), engines[1].Stats()
-		if b.Samples != r.Samples {
-			t.Fatalf("sample totals differ: %d vs %d", b.Samples, r.Samples)
-		}
-		diff := int64(b.LUT1Hits) - int64(r.LUT1Hits)
-		if diff < 0 {
-			diff = -diff
-		}
-		if diff > int64(total/100) {
-			t.Fatalf("LUT1 hit counts differ by %d of %d (batched %d, scalar %d)",
-				diff, total, b.LUT1Hits, r.LUT1Hits)
-		}
-		for i, e := range engines {
-			stat, df := gauss.ChiSquare(cfg.Matrix, hists[i], total, 8)
+			if name == Default {
+				refStats = st
+			}
+			stat, df := gauss.ChiSquare(cfg.Matrix, hist, total, 8)
 			crit := gauss.ChiSquareCritical(df, 1e-12)
 			if stat > crit {
-				t.Fatalf("%s seed %#x: χ² = %.1f with %d df exceeds %.1f", e.Name(), seed, stat, df, crit)
+				t.Fatalf("%s seed %#x: χ² = %.1f with %d df exceeds %.1f", name, seed, stat, df, crit)
+			}
+		}
+		// LUT hit rates agree across the LUT-based backends: identical
+		// tables, independent bits — binomial fluctuation at p≈0.975 over
+		// 2^14 draws stays well inside 1% of the scalar reference.
+		for i, name := range names {
+			if name == "cdt" || name == Default {
+				continue
+			}
+			diff := int64(stats[i].LUT1Hits) - int64(refStats.LUT1Hits)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > int64(total/100) {
+				t.Fatalf("%s: LUT1 hit count differs from scalar reference by %d of %d (%d vs %d)",
+					name, diff, total, stats[i].LUT1Hits, refStats.LUT1Hits)
 			}
 		}
 	})

@@ -1,0 +1,58 @@
+package sampler
+
+import (
+	"testing"
+
+	"ringlwe/internal/gauss"
+	"ringlwe/internal/rng"
+)
+
+// The wide engine's correctness rides on the shared registry tests
+// (TestTailBound, TestStatsAccounting, TestSamplerZeroAlloc, the
+// chi-square differential fuzz target), which iterate every registered
+// backend. This file covers what those cannot: the construction gate and
+// the per-q negation table.
+
+// TestWideConstructionGate pins the ≥ 13 column requirement the LUT-2
+// resolution chain depends on (ResumeWalk restarts at column 13).
+func TestWideConstructionGate(t *testing.T) {
+	m, err := gauss.NewMatrix(4.5, 55, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The factory rejects on Matrix.Cols alone, before the LUTs matter.
+	if _, err := New("wide-ky", &Config{Matrix: m}, rng.NewXorshift128(1)); err == nil {
+		t.Fatal("wide-ky accepted a matrix too narrow for its resolution chain")
+	}
+}
+
+// TestWideRetarget pins the negation table across a modulus switch: the
+// same engine sampling under q then q' must fold signs against the
+// current modulus, not the first one seen.
+func TestWideRetarget(t *testing.T) {
+	cfg := testConfig(t)
+	e, err := New("wide-ky", cfg, rng.NewXorshift128(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMag := uint32(cfg.Matrix.Rows - 1)
+	dst := make([]uint32, 256)
+	for _, q := range []uint32{7681, 12289, 7681} {
+		sawNeg := false
+		for round := 0; round < 8; round++ {
+			e.SamplePolyInto(dst, q)
+			for i, v := range dst {
+				if v >= q {
+					t.Fatalf("q=%d: coeff %d = %d out of range", q, i, v)
+				}
+				if v > maxMag && v < q-maxMag {
+					t.Fatalf("q=%d: coeff %d = %d beyond the ±%d tail cut", q, i, v, maxMag)
+				}
+				sawNeg = sawNeg || v > maxMag
+			}
+		}
+		if !sawNeg {
+			t.Fatalf("q=%d: no negative residues in 2048 samples; sign fold is dead", q)
+		}
+	}
+}

@@ -52,3 +52,14 @@ func (p *BitPool64) NextBits(k uint) uint64 {
 	p.n -= k
 	return v
 }
+
+// Next64 returns the next 64 bits of the stream packed little-endian —
+// two NextBits(32) draws fused into one call, bit-identical to 64
+// successive scalar Bit() draws. This is the probe front end of the
+// 16-wide sampler batch: one call fills a whole 8-probe word, so two
+// probe words (16 coefficients) cost four buffer refills and no
+// per-probe bookkeeping.
+func (p *BitPool64) Next64() uint64 {
+	lo := p.NextBits(32)
+	return lo | p.NextBits(32)<<32
+}

@@ -66,6 +66,30 @@ func TestBitPool64Refills(t *testing.T) {
 	}
 }
 
+// TestBitPool64Next64 pins the fused 64-bit draw against 64 scalar Bit()
+// calls, interleaved with narrower draws so the fusion is exercised at
+// every buffer phase, not just on word boundaries.
+func TestBitPool64Next64(t *testing.T) {
+	word := NewBitPool64(rng.NewXorshift128(9))
+	scalar := rng.NewBitPool(rng.NewXorshift128(9))
+	phases := []uint{0, 8, 1, 5, 16, 31, 3}
+	for round := 0; round < 2048; round++ {
+		k := phases[round%len(phases)]
+		word.NextBits(k)
+		for i := uint(0); i < k; i++ {
+			scalar.Bit()
+		}
+		got := word.Next64()
+		var want uint64
+		for i := uint(0); i < 64; i++ {
+			want |= uint64(scalar.Bit()) << i
+		}
+		if got != want {
+			t.Fatalf("round %d: Next64 = %#x, scalar stream = %#x", round, got, want)
+		}
+	}
+}
+
 // TestBitPool64WidthPanic pins the k ≤ 32 contract.
 func TestBitPool64WidthPanic(t *testing.T) {
 	defer func() {

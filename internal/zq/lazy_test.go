@@ -1,0 +1,104 @@
+package zq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// condSubBranchy is the reference single conditional subtraction the
+// branchless CondSub must agree with everywhere the lemma admits.
+func condSubBranchy(x, bound uint32) uint32 {
+	if x >= bound {
+		return x - bound
+	}
+	return x
+}
+
+// TestCondSubLemma proves the lane-width bound lemma exhaustively around
+// every boundary: for each bound (including the extreme 2³¹) it sweeps
+// dense windows around 0, bound and 2·bound−1, plus a uniform sample of
+// the admissible range x < 2·bound, and checks CondSub against the
+// branchy fold.
+func TestCondSubLemma(t *testing.T) {
+	bounds := []uint32{
+		1, 2, 3,
+		7681, 12289, // the paper moduli themselves
+		2 * 7681, 2 * 12289, // the lazy bounds the butterflies fold at
+		1<<29 - 1, 1 << 29, // around the vector engine's modulus gate
+		1<<31 - 1, 1 << 31, // the lemma's extreme admissible bound
+	}
+	check := func(x, bound uint32) {
+		t.Helper()
+		if got, want := CondSub(x, bound), condSubBranchy(x, bound); got != want {
+			t.Fatalf("CondSub(%d, %d) = %d, want %d", x, bound, got, want)
+		}
+	}
+	r := rand.New(rand.NewSource(42))
+	for _, bound := range bounds {
+		limit := 2 * uint64(bound) // x must stay below this
+		for _, center := range []uint64{0, uint64(bound), limit - 1} {
+			for d := int64(-64); d <= 64; d++ {
+				x := int64(center) + d
+				if x < 0 || uint64(x) >= limit {
+					continue
+				}
+				check(uint32(x), bound)
+			}
+		}
+		for i := 0; i < 4096; i++ {
+			check(uint32(r.Uint64()%limit), bound)
+		}
+	}
+}
+
+// TestCondSubButterflyBound proves the composite lemma the vector NTT
+// kernels rely on: for a VectorSafe modulus, both butterfly intermediates
+// — the sum u+p of two lazy values and the offset difference u−p+2q —
+// stay below 4q ≤ 2³¹, and one CondSub at bound 2q lands each back in the
+// lazy domain [0, 2q), agreeing with the scalar Shoup engine's folds.
+func TestCondSubButterflyBound(t *testing.T) {
+	// 536870909 = 2²⁹−3 is the largest prime below the vector gate.
+	for _, q := range []uint32{7681, 12289, 536870909} {
+		m, err := NewModulus(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.VectorSafe() {
+			t.Fatalf("q=%d: VectorSafe() = false, want true", q)
+		}
+		twoQ := 2 * q
+		r := rand.New(rand.NewSource(int64(q)))
+		for i := 0; i < 1<<16; i++ {
+			u := uint32(r.Uint64() % uint64(twoQ))
+			p := uint32(r.Uint64() % uint64(twoQ))
+			sum := u + p
+			diff := u - p + twoQ
+			if uint64(sum) >= 1<<31 || uint64(diff) >= 1<<31 {
+				t.Fatalf("q=%d: intermediate overflows the sign-bit domain", q)
+			}
+			x := CondSub(sum, twoQ)
+			y := CondSub(diff, twoQ)
+			if x != condSubBranchy(sum, twoQ) || x >= twoQ {
+				t.Fatalf("q=%d u=%d p=%d: sum fold = %d", q, u, p, x)
+			}
+			if y != condSubBranchy(diff, twoQ) || y >= twoQ {
+				t.Fatalf("q=%d u=%d p=%d: diff fold = %d", q, u, p, y)
+			}
+		}
+	}
+}
+
+// TestVectorSafeGate pins the gate's edge: the largest admissible modulus
+// value satisfies 4q ≤ 2³¹ and one past it does not. (NewModulus has its
+// own primality/size rules, so the gate arithmetic is tested directly on
+// the struct.)
+func TestVectorSafeGate(t *testing.T) {
+	safe := &Modulus{Q: 1 << 29}
+	if !safe.VectorSafe() {
+		t.Error("q = 2²⁹ should be vector-safe (4q = 2³¹)")
+	}
+	unsafe := &Modulus{Q: 1<<29 + 1}
+	if unsafe.VectorSafe() {
+		t.Error("q = 2²⁹+1 should not be vector-safe")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"ringlwe/internal/core"
+	"ringlwe/internal/cpu"
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/sampler"
 )
@@ -35,10 +36,28 @@ type Profile struct {
 // Reference, ConstantTime); these are the configurations they resolve to.
 var (
 	profileDefault   = Profile{Engine: ntt.DefaultEngine, Sampler: sampler.Default}
-	profileFast      = Profile{Engine: "shoup", Sampler: "batched-ky"}
+	profileFast      = fastProfile()
 	profileReference = Profile{Engine: "barrett", Sampler: "knuth-yao"}
 	profileConstTime = Profile{Engine: "shoup", Sampler: "cdt", ConstantTimeDecode: true}
 )
+
+// fastProfile resolves the throughput preset through the CPU dispatch
+// layer once at startup: machines with a vector unit get the 8-lane
+// "vector" NTT kernels and the 16-coefficient "wide-ky" sampler batch;
+// anything narrower keeps the previous fast pair (Shoup kernels, 8-wide
+// batched sampler), so Fast is never slower than it used to be. The
+// RLWE_FORCE_ENGINE / RLWE_FORCE_SAMPLER environment knobs override the
+// detection (read at process start, like all dispatch decisions).
+func fastProfile() Profile {
+	p := Profile{Engine: "shoup", Sampler: "batched-ky"}
+	if e := cpu.BestNTTEngine(); e != ntt.DefaultEngine {
+		p.Engine = e
+	}
+	if s := cpu.BestSamplerEngine(); s != sampler.Default {
+		p.Sampler = s
+	}
+	return p
+}
 
 // Name returns the preset label this profile corresponds to — "fast",
 // "reference", "constant-time", or "default" for the configuration New
@@ -92,11 +111,16 @@ func applyOptions(opts []Option) config {
 	return c
 }
 
-// Fast selects the throughput preset: the Shoup-multiplied lazy-reduction
-// NTT kernels plus the batched SWAR Knuth-Yao sampler (≈6× the scalar
-// sampler, encrypt ≈2× end to end). Deterministic streams differ from the
-// reference profile — the sampler spends randomness in 64-bit gulps — but
-// ciphertexts interoperate freely with keys from any profile.
+// Fast selects the throughput preset, resolved through CPU dispatch at
+// process start: on machines with a vector unit (any amd64 or arm64)
+// that is the 8-lane "vector" NTT kernels plus the 16-coefficient
+// "wide-ky" SWAR Knuth-Yao sampler; narrower targets keep the Shoup
+// kernels and the 8-wide batched sampler. Deterministic streams differ
+// from the reference profile — the samplers spend randomness in word
+// gulps — and, unlike the fixed presets, the resolved backends (and thus
+// the streams) vary by machine; ciphertexts interoperate freely with
+// keys from any profile. Set RLWE_FORCE_ENGINE / RLWE_FORCE_SAMPLER to
+// pin the choice.
 func Fast() Option { return WithProfile(profileFast) }
 
 // Reference selects the paper-faithful preset: the generic Barrett NTT

@@ -14,10 +14,12 @@ func TestProfileResolution(t *testing.T) {
 		want Profile
 	}{
 		{"default", nil, Profile{Engine: "shoup", Sampler: "knuth-yao"}},
-		{"fast", []Option{Fast()}, Profile{Engine: "shoup", Sampler: "batched-ky"}},
+		// Fast resolves through CPU dispatch, so its backends vary by
+		// machine; fastProfile() is the single source of truth.
+		{"fast", []Option{Fast()}, fastProfile()},
 		{"reference", []Option{Reference()}, Profile{Engine: "barrett", Sampler: "knuth-yao"}},
 		{"constant-time", []Option{ConstantTime()}, Profile{Engine: "shoup", Sampler: "cdt", ConstantTimeDecode: true}},
-		{"custom", []Option{Fast(), WithSampler("cdt")}, Profile{Engine: "shoup", Sampler: "cdt"}},
+		{"custom", []Option{Fast(), WithSampler("cdt")}, Profile{Engine: fastProfile().Engine, Sampler: "cdt"}},
 		{"custom", []Option{WithConstantTimeDecode()}, Profile{Engine: "shoup", Sampler: "knuth-yao", ConstantTimeDecode: true}},
 		{"reference", []Option{ConstantTime(), WithProfile(Profile{})}, Profile{Engine: "shoup", Sampler: "knuth-yao"}},
 	}

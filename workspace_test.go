@@ -79,6 +79,50 @@ func TestWorkspaceEncryptZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestWorkspaceEngineZeroAlloc pins the steady-state encrypt/decrypt path
+// at zero allocations under every NTT backend except "packed" (the
+// paper-layout study backend, which allocates per transform by design) —
+// in particular the vector engine's lane-block kernels, and the Fast
+// profile's CPU-dispatched pairing of them with the wide sampler.
+func TestWorkspaceEngineZeroAlloc(t *testing.T) {
+	p := P1()
+	msg := make([]byte, p.MessageSize())
+	out := make([]byte, p.MessageSize())
+	configs := [][]Option{{Fast()}}
+	for _, name := range Engines() {
+		if name != "packed" {
+			configs = append(configs, []Option{WithEngine(name)})
+		}
+	}
+	for i, opts := range configs {
+		s := NewDeterministic(p, uint64(80+i), opts...)
+		label := s.Profile().Engine + "+" + s.Profile().Sampler
+		pk, sk, err := s.GenerateKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := s.NewWorkspace()
+		ct := NewCiphertext(p)
+		if err := ws.EncryptInto(ct, pk, msg); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := ws.EncryptInto(ct, pk, msg); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: EncryptInto allocates %.1f/op, want 0", label, n)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := ws.DecryptInto(out, sk, ct); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: DecryptInto allocates %.1f/op, want 0", label, n)
+		}
+	}
+}
+
 // TestWorkspaceKEMInterop checks the workspace KEM against the legacy
 // one-shot KEM in both directions.
 func TestWorkspaceKEMInterop(t *testing.T) {
