@@ -1,0 +1,285 @@
+// Command rlwe-loadgen is the capacity harness for the secure-channel
+// server: it sweeps a grid of parameter set × shard count × resumption
+// ratio × rekey rate, drives each cell with a pool of concurrent
+// connections against an in-process sharded server on loopback, and
+// reports handshakes per second per core.
+//
+// Output is go-bench-format text, one line per cell, so the existing
+// rlwe-benchjson pipeline archives and regression-gates it unchanged:
+//
+//	rlwe-loadgen | rlwe-benchjson -out BENCH_LOADGEN.json
+//	rlwe-loadgen -smoke | rlwe-benchjson -baseline BENCH_7.json -gate Loadgen
+//
+// Each line's ns/op is core-nanoseconds per completed handshake
+// (wall time × GOMAXPROCS ÷ handshakes), so the derived ops/s metric is
+// exactly handshakes/s-per-core and numbers from 1-core and all-core
+// runs are directly comparable:
+//
+//	BenchmarkLoadgen/P1/shards=1/resume=90/rekey=0-8  12345  81000 ns/op  12345 hs/s/core
+//
+// The sweep axes:
+//
+//	-params  comma-separated parameter sets (P1,P2)
+//	-shards  comma-separated server shard counts (accept lanes)
+//	-resume  comma-separated resumption percentages: 0 = every connection
+//	         pays a full KEM handshake, 90 = nine of ten reconnect with a
+//	         session ticket
+//	-rekey   records between client-driven rekeys on each connection
+//	         (0 = no traffic, handshakes only)
+//	-conns   concurrent client connections per cell
+//	-dur     measurement window per cell
+//
+// -smoke shrinks the grid to a seconds-long CI gate run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringlwe"
+	"ringlwe/internal/protocol"
+)
+
+type cell struct {
+	params    *ringlwe.Params
+	shards    int
+	resumePct int
+	rekey     int
+}
+
+type cellResult struct {
+	handshakes uint64 // full + resumed
+	resumed    uint64
+	elapsed    time.Duration
+}
+
+func main() {
+	paramsList := flag.String("params", "P1,P2", "parameter sets to sweep, comma separated")
+	shardsList := flag.String("shards", defaultShards(), "server shard counts to sweep, comma separated")
+	resumeList := flag.String("resume", "0,90", "resumption percentages to sweep, comma separated")
+	rekeyList := flag.String("rekey", "0", "records between rekeys to sweep, comma separated (0 = handshakes only)")
+	conns := flag.Int("conns", 32, "concurrent client connections per cell")
+	dur := flag.Duration("dur", 2*time.Second, "measurement window per cell")
+	smoke := flag.Bool("smoke", false, "seconds-long CI grid: P1, 1 shard, resume 0 and 90, 4 conns, 300ms cells")
+	flag.Parse()
+
+	if *smoke {
+		*paramsList, *shardsList, *resumeList, *rekeyList = "P1", "1", "0,90", "0"
+		*conns, *dur = 4, 300*time.Millisecond
+	}
+
+	cells, err := buildGrid(*paramsList, *shardsList, *resumeList, *rekeyList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlwe-loadgen:", err)
+		os.Exit(1)
+	}
+
+	ncore := runtime.GOMAXPROCS(0)
+	fmt.Printf("goos: %s\ngoarch: %s\ncpu-cores: %d\n", runtime.GOOS, runtime.GOARCH, ncore)
+	for _, c := range cells {
+		res, err := runCell(c, *conns, *dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlwe-loadgen: %s: %v\n", cellName(c, ncore), err)
+			os.Exit(1)
+		}
+		coreNS := float64(res.elapsed.Nanoseconds()) * float64(ncore) / float64(res.handshakes)
+		fmt.Printf("%s\t%d\t%.0f ns/op\t%.0f hs/s/core\t%.2f resumed-frac\n",
+			cellName(c, ncore), res.handshakes, coreNS, 1e9/coreNS,
+			float64(res.resumed)/float64(res.handshakes))
+	}
+}
+
+// defaultShards sweeps one shard and the whole machine (deduplicated on
+// single-core hosts).
+func defaultShards() string {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return "1," + strconv.Itoa(n)
+	}
+	return "1"
+}
+
+func buildGrid(paramsCSV, shardsCSV, resumeCSV, rekeyCSV string) ([]cell, error) {
+	var params []*ringlwe.Params
+	for _, name := range strings.Split(paramsCSV, ",") {
+		switch strings.TrimSpace(name) {
+		case "P1":
+			params = append(params, ringlwe.P1())
+		case "P2":
+			params = append(params, ringlwe.P2())
+		default:
+			return nil, fmt.Errorf("unknown parameter set %q (want P1 or P2)", name)
+		}
+	}
+	ints := func(csv, what string, min, max int) ([]int, error) {
+		var out []int
+		for _, s := range strings.Split(csv, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < min || v > max {
+				return nil, fmt.Errorf("bad %s %q (want %d..%d)", what, s, min, max)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	shards, err := ints(shardsCSV, "shard count", 1, 256)
+	if err != nil {
+		return nil, err
+	}
+	resumes, err := ints(resumeCSV, "resume percentage", 0, 100)
+	if err != nil {
+		return nil, err
+	}
+	rekeys, err := ints(rekeyCSV, "rekey rate", 0, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	var cells []cell
+	for _, p := range params {
+		for _, sh := range shards {
+			for _, r := range resumes {
+				for _, rk := range rekeys {
+					cells = append(cells, cell{params: p, shards: sh, resumePct: r, rekey: rk})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+func cellName(c cell, ncore int) string {
+	return fmt.Sprintf("BenchmarkLoadgen/%s/shards=%d/resume=%d/rekey=%d-%d",
+		c.params.Name(), c.shards, c.resumePct, c.rekey, ncore)
+}
+
+// runCell serves one grid cell: an in-process sharded server on loopback
+// and a pool of workers that connect, handshake (full or resumed), push
+// the requested rekey traffic, and disconnect, for the measurement
+// window.
+func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
+	var handler func(*protocol.Channel)
+	if c.rekey > 0 {
+		handler = func(ch *protocol.Channel) {
+			for {
+				m, err := ch.Recv()
+				if err != nil {
+					return
+				}
+				if err := ch.Send(m); err != nil {
+					return
+				}
+			}
+		}
+	}
+	srv := protocol.NewServer(
+		protocol.WithShards(c.shards),
+		protocol.WithHandler(handler),
+	)
+	if err := srv.AddParams(c.params); err != nil {
+		return cellResult{}, err
+	}
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cellResult{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeListeners() }()
+
+	scheme := ringlwe.New(c.params)
+	var (
+		total   atomic.Uint64
+		resumed atomic.Uint64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		werr    error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { werr = err })
+		stop.Store(true)
+	}
+
+	worker := func(id int) {
+		defer wg.Done()
+		var ses *protocol.Session
+		warm := true // first connection per worker never counts (pool fill)
+		for i := 0; !stop.Load(); i++ {
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				fail(err)
+				return
+			}
+			wantResume := c.resumePct > 0 && ses.Valid() && (i*37+id)%100 < c.resumePct
+			var ch *protocol.Channel
+			if wantResume {
+				ch, err = protocol.ClientResume(conn, ses, protocol.WithRekeyAfter(uint64(c.rekey)))
+			} else {
+				ch, err = protocol.Client(conn, scheme,
+					protocol.WithSessionTicket(), protocol.WithRekeyAfter(uint64(c.rekey)))
+			}
+			if err != nil {
+				conn.Close()
+				fail(fmt.Errorf("worker %d: %w", id, err))
+				return
+			}
+			if ch.Session() != nil {
+				ses = ch.Session() // tickets are single-use; chain the reissue
+			}
+			if c.rekey > 0 {
+				// rekey+1 records roll the epoch exactly once per connection.
+				msg := []byte("loadgen")
+				for r := 0; r <= c.rekey; r++ {
+					if err := ch.Send(msg); err != nil {
+						fail(err)
+						conn.Close()
+						return
+					}
+					if _, err := ch.Recv(); err != nil {
+						fail(err)
+						conn.Close()
+						return
+					}
+				}
+			}
+			conn.Close()
+			if warm {
+				warm = false
+				continue
+			}
+			total.Add(1)
+			if ch.Resumed() {
+				resumed.Add(1)
+			}
+		}
+	}
+
+	start := time.Now()
+	wg.Add(conns)
+	for i := 0; i < conns; i++ {
+		go worker(i)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err := srv.Close(); err != nil {
+		return cellResult{}, err
+	}
+	<-serveDone
+	if werr != nil {
+		return cellResult{}, werr
+	}
+	n := total.Load()
+	if n == 0 {
+		return cellResult{}, fmt.Errorf("no handshakes completed in %v", dur)
+	}
+	return cellResult{handshakes: n, resumed: resumed.Load(), elapsed: elapsed}, nil
+}

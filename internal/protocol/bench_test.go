@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"fmt"
 	"net"
 	"testing"
 
@@ -54,6 +55,64 @@ func BenchmarkHandshakeV1P1(b *testing.B) {
 		return ClientV1(c, scheme)
 	})
 }
+
+// BenchmarkHandshakeResumeP1 measures a ticket resumption round trip —
+// the headline of the resumption work: no KEM flight at all, one AES-GCM
+// ticket decrypt plus the key schedule on each side. Compare against
+// BenchmarkHandshakeV2P1 for the full-vs-resumed ratio.
+func BenchmarkHandshakeResumeP1(b *testing.B) {
+	srv := newTestServer(b, ringlwe.P1())
+	scheme := ringlwe.NewDeterministic(ringlwe.P1(), 9005)
+
+	// Seed session from one full ticketed handshake.
+	cConn, sConn := net.Pipe()
+	sDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Handshake(sConn)
+		sDone <- err
+	}()
+	full, err := Client(cConn, scheme, WithSessionTicket())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := <-sDone; err != nil {
+		b.Fatal(err)
+	}
+	cConn.Close()
+	sConn.Close()
+	ses := full.Session()
+	if !ses.Valid() {
+		b.Fatal("no session issued")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cConn, sConn := net.Pipe()
+		go func() {
+			ch, err := srv.Handshake(sConn)
+			if err == nil && !ch.resumed {
+				err = errDroppedToFull
+			}
+			sDone <- err
+		}()
+		ch, err := ClientResume(cConn, ses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ch.Resumed() {
+			b.Fatal("resumption fell back to a full handshake")
+		}
+		if err := <-sDone; err != nil {
+			b.Fatal(err)
+		}
+		ses = ch.Session() // tickets are single-use; chain the reissue
+		cConn.Close()
+		sConn.Close()
+	}
+}
+
+var errDroppedToFull = fmt.Errorf("server completed a full handshake, not a resumption")
 
 // BenchmarkRekey measures one full in-band epoch roll: the client's
 // encapsulation, the rekey/ack round trip, the server's decapsulation and

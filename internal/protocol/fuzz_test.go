@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"testing"
+	"time"
 
 	"ringlwe"
 )
@@ -21,6 +22,14 @@ func FuzzHandshake(f *testing.F) {
 	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0, 1, 0, 0})
 	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0, 2, 0, 0})
 	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0, 0, 0, 0})
+	// Resume-flagged hellos: truncated, zero-length ticket, garbage
+	// ticket of plausible length, oversized length prefix.
+	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0, 1, 0x03, 0})
+	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0, 1, 0x03, 0, 0, 0})
+	garbageResume := []byte{0x52, 0x4C, 0xFF, 2, 0, 1, 0x03, 0, 0, 79}
+	garbageResume = append(garbageResume, make([]byte, 79+16)...)
+	f.Add(garbageResume)
+	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0, 1, 0x03, 0, 0xFF, 0xFF})
 	// Unknown ID, wrong version, bad magic, short.
 	f.Add([]byte{0x52, 0x4C, 0xFF, 2, 0xBE, 0xEF, 0, 0})
 	f.Add([]byte{0x52, 0x4C, 0xFF, 9, 0, 1, 0, 0})
@@ -63,8 +72,22 @@ func FuzzHandshake(f *testing.F) {
 	f.Add(append(append([]byte{statusOK}, pkBlob...), statusOK))
 	f.Add(append(seedPK.Bytes(), statusOK))
 
+	// Resume-accepted and resume-fallback server flights for the
+	// ClientResume path: statusOK ‖ server random ‖ ticket blob, and
+	// statusFallback ‖ pk blob ‖ statusOK.
+	resumeOK := append([]byte{statusOK}, make([]byte, randomLen)...)
+	resumeOK = append(resumeOK, 0, 8+3, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3)
+	f.Add(resumeOK)
+	f.Add(append(append([]byte{statusFallback}, pkBlob...), statusOK))
+
 	srv := newTestServer(f, ringlwe.P1(), ringlwe.P2())
 	clientScheme := ringlwe.NewDeterministic(ringlwe.P1(), 8002)
+	resumeSes := &Session{
+		scheme: clientScheme,
+		pk:     seedPK,
+		ticket: make([]byte, 79),
+		expiry: time.Now().Add(time.Hour),
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Server side: data is everything the client sends.
@@ -79,6 +102,9 @@ func FuzzHandshake(f *testing.F) {
 			t.Fatal("nil channel without error")
 		}
 		if ch, err := ClientAuto(rwShim{bytes.NewReader(data), io.Discard}); err == nil && ch == nil {
+			t.Fatal("nil channel without error")
+		}
+		if ch, err := ClientResume(rwShim{bytes.NewReader(data), io.Discard}, resumeSes); err == nil && ch == nil {
 			t.Fatal("nil channel without error")
 		}
 	})

@@ -44,6 +44,9 @@ func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*
 	hello[2] = helloV2Marker
 	hello[3] = protocolV2
 	binary.BigEndian.PutUint16(hello[4:6], id)
+	if o.wantTicket {
+		hello[6] = helloFlagTicket
+	}
 	if _, err := rw.Write(hello[:]); err != nil {
 		return nil, fmt.Errorf("protocol: hello: %w", err)
 	}
@@ -72,7 +75,16 @@ func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*
 		return nil, fmt.Errorf("protocol: server key is %s (wire ID %d), requested ID %d: %w",
 			pk.Params().Name(), pk.Params().WireID(), id, ringlwe.ErrParamsMismatch)
 	}
+	return clientKEMFlight(rw, scheme, pk, o)
+}
 
+// clientKEMFlight runs the initiator's encapsulation loop against an
+// already-received server key and finishes the handshake — including
+// reading the session ticket when one was requested. It is shared by the
+// full v2 handshake and the resume-fallback path, which joins here after
+// the server's statusFallback.
+func clientKEMFlight(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, o options) (*Channel, error) {
+	var status [1]byte
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		// Borrow a pooled workspace only for the KEM computation, not
 		// across the network round-trip, so stalled peers don't pin
@@ -99,6 +111,23 @@ func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*
 				peerPK:     pk,
 				rekeyAfter: o.rekeyAfter,
 				Retries:    attempt,
+			}
+			if o.wantTicket {
+				// The ticket flight follows the final status; a zero-length
+				// blob means the server declined (Session stays nil).
+				expiry, tkt, err := readTicketBlob(rw)
+				if err != nil {
+					return nil, fmt.Errorf("protocol: reading ticket: %w", err)
+				}
+				if tkt != nil {
+					ch.session = &Session{
+						scheme: scheme,
+						pk:     pk,
+						secret: resumeMasterSecret(scheme.Params(), key),
+						ticket: tkt,
+						expiry: expiry,
+					}
+				}
 			}
 			ch.deriveKeysV2(key, 0, true)
 			return ch, nil

@@ -13,7 +13,7 @@
 // client recovers the parameters from the blob itself via the
 // registered-params table:
 //
-//	C → S   HELLO2: magic ‖ 0xFF ‖ 2 ‖ params ID ‖ reserved   (8 bytes)
+//	C → S   HELLO2: magic ‖ 0xFF ‖ 2 ‖ params ID ‖ flags ‖ 0   (8 bytes)
 //	S → C   status ‖ self-describing public key               (streamed)
 //	C → S   self-describing KEM encapsulation blob            (streamed)
 //	S → C   status (OK, or RETRY after an intrinsic LPR decryption
@@ -35,11 +35,25 @@
 // intrinsic decryption failure downgrades to a retry, not a dead channel),
 // and both sides roll to epoch-separated keys with reset sequence numbers.
 //
+// A v2 handshake that set the ticket flag additionally receives a
+// session-resumption ticket — the server's AES-GCM-sealed copy of a
+// resumption master secret both sides derive (see resume.go). Presenting
+// it on reconnect (ClientResume, the resume flag) skips the KEM flight:
+// the server answers with a fresh random and a reissued single-use
+// ticket, both sides derive the record keys from the master secret plus
+// the two randoms, and an invalid ticket transparently downgrades to a
+// full handshake on the same connection (statusFallback). Flags ride in
+// the formerly reserved hello byte, so unflagged flows remain
+// bit-identical to older clients and servers.
+//
 // Handshakes borrow a pooled per-goroutine workspace from the shared
 // Scheme for all KEM work, so any number of connections may handshake
 // concurrently against one Scheme and one long-term key pair without
 // contention or per-message garbage. The Server type serves several
-// parameter sets at once — one Scheme and key pair per registered set.
+// parameter sets at once — one Scheme and key pair per registered set —
+// across shard-per-core accept lanes with per-shard workspaces, burst
+// decapsulation batching, and lock-free merged stats (see server.go and
+// shard.go).
 package protocol
 
 import (
@@ -64,13 +78,27 @@ const (
 	protocolV1    = 1
 	protocolV2    = 2
 
-	statusOK     = 0
-	statusRetry  = 1
-	statusReject = 2
+	statusOK       = 0
+	statusRetry    = 1
+	statusReject   = 2
+	statusFallback = 3 // resumption refused; a full handshake follows inline
+
+	// v2 hello flags (hello byte 6, formerly reserved — zero from older
+	// clients, so unflagged flows stay bit-identical on the wire).
+	helloFlagTicket = 0x01 // request a session-resumption ticket
+	helloFlagResume = 0x02 // a ticket + client random follow the hello
 
 	maxRetries   = 8
 	maxRecordLen = 1 << 20
 	tagLen       = 16
+
+	// maxTicketWire bounds the length-prefixed ticket blobs either side
+	// will read; real tickets are well under it.
+	maxTicketWire = 512
+
+	// randomLen is the size of the client/server freshness contributions
+	// mixed into a resumed session's key schedule.
+	randomLen = 16
 
 	// maxPendingRecords bounds how many in-flight data records a client
 	// will buffer while waiting for a rekey ack.
@@ -89,6 +117,7 @@ type Option func(*options)
 type options struct {
 	rekeyAfter uint64
 	schemeOpts []ringlwe.Option
+	wantTicket bool
 }
 
 func applyOptions(opts []Option) options {
@@ -116,6 +145,16 @@ func WithSchemeOptions(opts ...ringlwe.Option) Option {
 	return func(o *options) { o.schemeOpts = opts }
 }
 
+// WithSessionTicket makes a v2 client request a session-resumption ticket
+// in its hello: a ticket-issuing server hands back an encrypted ticket at
+// handshake completion, available as Channel.Session, and the next
+// connection can skip the KEM flight entirely via ClientResume. Servers
+// that do not issue tickets leave Session nil; the handshake itself is
+// unchanged.
+func WithSessionTicket() Option {
+	return func(o *options) { o.wantTicket = true }
+}
+
 // Channel is an established secure channel. Not safe for concurrent use;
 // callers serialize Send/Recv per side as usual for record protocols.
 type Channel struct {
@@ -141,6 +180,12 @@ type Channel struct {
 
 	// onRekey notifies the serving layer (per-params counters).
 	onRekey func()
+
+	// resumed marks a channel established from a session ticket (no KEM
+	// flight); session holds the client's resumption state for the next
+	// reconnect, when ticket issuance was requested.
+	resumed bool
+	session *Session
 
 	// pending queues data records that arrive while the client waits for
 	// a rekey ack — records the peer sealed under the old epoch before it
@@ -172,6 +217,16 @@ func (c *Channel) Params() *ringlwe.Params { return c.scheme.Params() }
 // Scheme returns the scheme the channel's KEM operations run on — for a
 // ClientAuto handshake, the scheme constructed for the server-chosen set.
 func (c *Channel) Scheme() *ringlwe.Scheme { return c.scheme }
+
+// Resumed reports whether the channel was established from a session
+// ticket (skipping the KEM flight) rather than a full handshake.
+func (c *Channel) Resumed() bool { return c.resumed }
+
+// Session returns the client's resumption state for the next reconnect —
+// non-nil after a handshake that requested a ticket (WithSessionTicket or
+// ClientResume) against a ticket-issuing server. Server-side channels and
+// plain handshakes return nil.
+func (c *Channel) Session() *Session { return c.session }
 
 // deriveKeys expands the shared secret into four directional keys (v1
 // derivation, unchanged from the original protocol).

@@ -1,0 +1,8 @@
+//go:build darwin || dragonfly || freebsd || netbsd || openbsd
+
+package protocol
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT as named by the platform syscall package.
+const soReusePort = syscall.SO_REUSEPORT

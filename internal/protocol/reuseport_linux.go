@@ -1,0 +1,8 @@
+//go:build linux
+
+package protocol
+
+// soReusePort is SO_REUSEPORT, absent from the linux syscall package by
+// name (it postdates the package freeze); the value is uniform across
+// linux architectures.
+const soReusePort = 0xf

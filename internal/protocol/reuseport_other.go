@@ -1,0 +1,17 @@
+//go:build !(linux || darwin || dragonfly || freebsd || netbsd || openbsd)
+
+package protocol
+
+import (
+	"errors"
+	"net"
+)
+
+// reuseportAvailable reports that this platform cannot shard accepts via
+// SO_REUSEPORT; Listen falls back to one listener whose accept loop
+// round-robins connections across the shard dispatchers.
+const reuseportAvailable = false
+
+func listenReuseport(network, addr string, n int) ([]net.Listener, error) {
+	return nil, errors.New("protocol: SO_REUSEPORT unsupported on this platform")
+}

@@ -8,37 +8,70 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ringlwe"
 	"ringlwe/internal/rng"
+	"ringlwe/internal/ticket"
 )
 
-// ErrServerClosed is returned by Server.Serve after Shutdown or Close.
+// ErrServerClosed is returned by the serve loops after Shutdown or Close.
 var ErrServerClosed = errors.New("protocol: server closed")
 
+// tenantCounters is one shard's slice of a tenant's statistics. Each
+// shard writes only its own slot and Stats sums the slots with atomic
+// loads, so the hot path never shares a cache line across shards and the
+// snapshot needs no lock. The padding keeps adjacent slots on separate
+// cache-line pairs.
+type tenantCounters struct {
+	handshakes      atomic.Uint64 // full handshakes completed
+	resumed         atomic.Uint64 // ticket resumptions completed
+	failures        atomic.Uint64
+	retries         atomic.Uint64
+	rekeys          atomic.Uint64
+	ticketsIssued   atomic.Uint64
+	ticketFallbacks atomic.Uint64
+	active          atomic.Int64
+	_               [64]byte
+}
+
 // tenant is one served parameter set: a shared Scheme, a long-term key
-// pair, and the per-params counters the stats snapshot reports.
+// pair, and one counter slot per shard.
 type tenant struct {
 	id     uint16
 	scheme *ringlwe.Scheme
 	pk     *ringlwe.PublicKey
 	sk     *ringlwe.PrivateKey
 
-	handshakes atomic.Uint64
-	failures   atomic.Uint64
-	retries    atomic.Uint64
-	rekeys     atomic.Uint64
-	active     atomic.Int64
+	perShard []tenantCounters
 }
 
-// Server is a multi-tenant secure-channel endpoint: it holds one Scheme
-// and long-term key pair per registered parameter set and serves v2
-// (negotiated) and v1 (legacy tagged) clients of any of them on one
-// listener. Handshake KEM work runs on pooled per-goroutine workspaces of
-// the tenant's Scheme, so concurrent connections neither contend nor race.
+// counters returns the tenant's slot for a shard (slot 0 for direct
+// Handshake calls outside the serving loops).
+func (t *tenant) counters(sh *shard) *tenantCounters {
+	if sh == nil {
+		return &t.perShard[0]
+	}
+	return &t.perShard[sh.id]
+}
+
+// Server is a multi-tenant sharded secure-channel endpoint: it holds one
+// Scheme and long-term key pair per registered parameter set and serves
+// v2 (negotiated, resumable) and v1 (legacy tagged) clients of any of
+// them. Serving is split into N shards — with SO_REUSEPORT, N kernel-fed
+// accept loops; otherwise one accept loop round-robining into N
+// dispatchers — each owning a private workspace, a decapsulation batcher
+// that fans accept bursts through DecapsulateBatch, and its own slice of
+// every tenant's counters, merged lock-free into Stats.
+//
+// Completed v2 handshakes can mint encrypted session-resumption tickets
+// (AES-GCM under a rotating server key, see internal/ticket); a
+// reconnecting client that presents one skips the KEM flight entirely,
+// with a sharded anti-replay cache keeping tickets single-use.
 //
 // Populate it with AddParams/AddTenant before serving. All methods are
 // safe for concurrent use.
@@ -46,12 +79,27 @@ type Server struct {
 	handler func(*Channel)
 	logf    func(format string, args ...any)
 
+	numShards      int
+	hsTimeout      time.Duration
+	ticketLifetime time.Duration
+
+	// Ticket machinery; nil keeper means tickets are disabled.
+	keeper *ticket.Keeper
+	replay *ticket.ReplayCache
+	rand   io.Reader
+
 	mu        sync.RWMutex
 	tenants   map[uint16]*tenant
 	defaultID uint16
 
+	shards    []*shard
+	loopOnce  sync.Once
+	loopStop  chan struct{}
+	stopOnce  sync.Once
+	nextShard atomic.Uint64
+
 	connMu   sync.Mutex
-	ln       net.Listener
+	lns      []net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closing  atomic.Bool
@@ -70,23 +118,73 @@ func WithHandler(h func(*Channel)) ServerOption {
 }
 
 // WithLogf directs per-connection error reports (failed handshakes,
-// rejected hellos) to a printf-style sink. Silent by default.
+// rejected hellos, accept retries) to a printf-style sink. Silent by
+// default.
 func WithLogf(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
+
+// WithShards sets the number of serving shards (accept lanes, workspace
+// owners, counter slots). Default GOMAXPROCS; values below 1 become 1.
+func WithShards(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.numShards = n
+	}
+}
+
+// WithHandshakeTimeout bounds how long a connection may take to complete
+// its handshake (default 10s): a stalled or slow-loris client hits the
+// deadline and releases its goroutine instead of pinning it forever.
+// Zero or negative disables the deadline.
+func WithHandshakeTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.hsTimeout = d }
+}
+
+// WithTicketLifetime sets how long issued session-resumption tickets
+// stay valid — and the server ticket-key rotation period, so a ticket
+// never outlives its sealing key by more than one rotation. Default one
+// hour; zero disables ticket issuance (resumption attempts then fall
+// back to full handshakes).
+func WithTicketLifetime(d time.Duration) ServerOption {
+	return func(s *Server) { s.ticketLifetime = d }
+}
+
+// defaultHandshakeTimeout bounds the first flight unless overridden.
+const defaultHandshakeTimeout = 10 * time.Second
 
 // NewServer builds an empty server; register parameter sets with
 // AddParams or AddTenant.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
-		tenants: make(map[uint16]*tenant),
-		conns:   make(map[net.Conn]struct{}),
+		numShards:      runtime.GOMAXPROCS(0),
+		hsTimeout:      defaultHandshakeTimeout,
+		ticketLifetime: time.Hour,
+		tenants:        make(map[uint16]*tenant),
+		conns:          make(map[net.Conn]struct{}),
+		loopStop:       make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.ticketLifetime > 0 {
+		// One locked CTR DRBG feeds ticket-key rotation and the per-
+		// resumption server randoms from every shard.
+		s.rand = rng.NewLockedReader(rng.NewCTRReaderOS())
+		s.keeper = ticket.NewKeeper(s.rand, s.ticketLifetime)
+		s.replay = ticket.NewReplayCache(nil)
+	}
+	s.shards = make([]*shard, s.numShards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, s)
+	}
 	return s
 }
+
+// NumShards reports the server's shard count.
+func (s *Server) NumShards() int { return s.numShards }
 
 // AddTenant registers a parameter set with an existing scheme and
 // long-term key pair. The set must be wire-registered (P1 and P2 always
@@ -107,7 +205,13 @@ func (s *Server) AddTenant(scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ri
 	if _, dup := s.tenants[id]; dup {
 		return fmt.Errorf("protocol: parameter set %s (wire ID %d) already served", p.Name(), id)
 	}
-	s.tenants[id] = &tenant{id: id, scheme: scheme, pk: pk, sk: sk}
+	s.tenants[id] = &tenant{
+		id:       id,
+		scheme:   scheme,
+		pk:       pk,
+		sk:       sk,
+		perShard: make([]tenantCounters, s.numShards),
+	}
 	if s.defaultID == 0 {
 		s.defaultID = id
 	}
@@ -153,19 +257,56 @@ func (s *Server) tenantByLegacyTag(tag byte) *tenant {
 	return nil
 }
 
+// decapsulate runs one handshake decapsulation. Inside the serving loops
+// it goes through the shard's batcher, so simultaneous first flights on
+// one shard share a DecapsulateBatch call; direct Handshake callers (no
+// shard) borrow a pooled workspace as before.
+func (s *Server) decapsulate(sh *shard, t *tenant, blob ringlwe.EncapsulatedKey) ([ringlwe.SharedKeySize]byte, error) {
+	if sh == nil {
+		ws := t.scheme.AcquireWorkspace()
+		key, err := ws.Decapsulate(t.sk, blob)
+		t.scheme.ReleaseWorkspace(ws)
+		return key, err
+	}
+	req := &decapReq{t: t, blob: blob, done: make(chan decapRes, 1)}
+	sh.decapQ <- req
+	res := <-req.done
+	return res.key, res.err
+}
+
+// ticketsEnabled reports whether the server mints resumption tickets.
+func (s *Server) ticketsEnabled() bool { return s.keeper != nil }
+
+// issueTicket writes the ticket blob that follows a handshake which
+// requested one: a fresh single-use ticket when issuance is enabled, a
+// zero-length blob otherwise.
+func (s *Server) issueTicket(rw io.Writer, sh *shard, t *tenant, epoch uint32, secret [32]byte) error {
+	if !s.ticketsEnabled() {
+		return writeTicketBlob(rw, time.Time{}, nil)
+	}
+	expiry := time.Now().Add(s.ticketLifetime)
+	tkt := s.keeper.Seal(ticket.State{ParamsID: t.id, Epoch: epoch, Expiry: expiry, Secret: secret})
+	if err := writeTicketBlob(rw, expiry, tkt); err != nil {
+		return err
+	}
+	t.counters(sh).ticketsIssued.Add(1)
+	return nil
+}
+
 // Handshake performs the responder side of one handshake over any
 // reliable byte stream, auto-detecting the protocol generation from the
 // first flight and dispatching to the tenant the client names. It is the
-// seam Serve drives per connection, exported so channels can be
-// established over in-memory pipes and custom transports.
+// seam the serving loops drive per connection, exported so channels can
+// be established over in-memory pipes and custom transports (without a
+// shard, decapsulations run on pooled workspaces directly).
 func (s *Server) Handshake(rw io.ReadWriter) (*Channel, error) {
-	ch, _, err := s.handshake(rw)
+	ch, _, err := s.handshake(rw, nil)
 	return ch, err
 }
 
 // handshake implements Handshake, also returning the tenant for the
 // serving layer's counters.
-func (s *Server) handshake(rw io.ReadWriter) (*Channel, *tenant, error) {
+func (s *Server) handshake(rw io.ReadWriter, sh *shard) (*Channel, *tenant, error) {
 	var hello [helloV1Len]byte
 	if _, err := io.ReadFull(rw, hello[:]); err != nil {
 		s.rejected.Add(1)
@@ -176,15 +317,15 @@ func (s *Server) handshake(rw io.ReadWriter) (*Channel, *tenant, error) {
 		return nil, nil, errors.New("protocol: bad hello magic")
 	}
 	if hello[2] == helloV2Marker {
-		return s.handshakeV2(rw, hello)
+		return s.handshakeV2(rw, sh, hello)
 	}
-	return s.handshakeV1(rw, hello)
+	return s.handshakeV1(rw, sh, hello)
 }
 
 // handshakeV2 answers a negotiated hello: resolve the tenant by the
-// requested parameter-set ID, stream the self-describing public key, and
-// run the KEM flight with every read bounded by the negotiated set.
-func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+// requested parameter-set ID and run either the resumption path (the
+// hello carries a ticket) or the full KEM flight.
+func (s *Server) handshakeV2(rw io.ReadWriter, sh *shard, hello [helloV1Len]byte) (*Channel, *tenant, error) {
 	if hello[3] != protocolV2 {
 		s.rejected.Add(1)
 		return nil, nil, fmt.Errorf("protocol: unsupported protocol version %d", hello[3])
@@ -195,6 +336,10 @@ func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 		return nil, nil, fmt.Errorf("protocol: hello: %w", err)
 	}
 	id := binary.BigEndian.Uint16(rest[:2])
+	flags := rest[2]
+	if flags&helloFlagResume != 0 {
+		return s.handshakeResume(rw, sh, id)
+	}
 	t := s.tenantByID(id)
 	if t == nil {
 		s.rejected.Add(1)
@@ -203,8 +348,16 @@ func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 		rw.Write([]byte{statusReject})
 		return nil, nil, fmt.Errorf("protocol: no tenant serves parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
 	}
+	return s.serverKEMFlight(rw, sh, t, statusOK, flags&helloFlagTicket != 0)
+}
+
+// serverKEMFlight runs the responder's full v2 flight against a resolved
+// tenant: first status byte (statusOK, or statusFallback when downgrading
+// a refused resumption), the streamed public key, the decapsulation loop,
+// and — when the client asked for one — the session ticket.
+func (s *Server) serverKEMFlight(rw io.ReadWriter, sh *shard, t *tenant, firstStatus byte, wantTicket bool) (*Channel, *tenant, error) {
 	params := t.scheme.Params()
-	if _, err := rw.Write([]byte{statusOK}); err != nil {
+	if _, err := rw.Write([]byte{firstStatus}); err != nil {
 		return nil, t, fmt.Errorf("protocol: sending hello status: %w", err)
 	}
 	// First server flight: the self-describing public-key blob, streamed
@@ -226,14 +379,9 @@ func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 			return nil, t, fmt.Errorf("protocol: encapsulation is %s, negotiated %s: %w",
 				ekParams.Name(), params.Name(), ringlwe.ErrParamsMismatch)
 		}
-		// Borrow a pooled workspace only for the decapsulation itself —
-		// never across the blocking read — so the pool grows with
-		// concurrent KEM computations, not with stalled connections.
-		ws := t.scheme.AcquireWorkspace()
-		key, err := ws.Decapsulate(t.sk, ek)
-		t.scheme.ReleaseWorkspace(ws)
+		key, err := s.decapsulate(sh, t, ek)
 		if errors.Is(err, ringlwe.ErrDecapsulation) {
-			t.retries.Add(1)
+			t.counters(sh).retries.Add(1)
 			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
 				return nil, t, fmt.Errorf("protocol: sending retry: %w", werr)
 			}
@@ -245,12 +393,18 @@ func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 		if _, err := rw.Write([]byte{statusOK}); err != nil {
 			return nil, t, fmt.Errorf("protocol: sending ok: %w", err)
 		}
+		if wantTicket {
+			if err := s.issueTicket(rw, sh, t, 0, resumeMasterSecret(params, key)); err != nil {
+				return nil, t, fmt.Errorf("protocol: sending ticket: %w", err)
+			}
+		}
+		counters := t.counters(sh)
 		ch := &Channel{
 			rw:      rw,
 			version: protocolV2,
 			scheme:  t.scheme,
 			localSK: t.sk,
-			onRekey: func() { t.rekeys.Add(1) },
+			onRekey: func() { counters.rekeys.Add(1) },
 			Retries: attempt,
 		}
 		ch.deriveKeysV2(key, 0, false)
@@ -259,9 +413,89 @@ func (s *Server) handshakeV2(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 	return nil, t, errors.New("protocol: too many decapsulation retries")
 }
 
+// handshakeResume answers a hello that presented a session ticket. A
+// valid, unexpired, never-seen ticket resumes the channel with one
+// AES-GCM decrypt and one response record — no KEM work at all. Anything
+// else (garbage, expired, replayed, rotated-away key, tickets disabled,
+// unknown tenant) transparently downgrades to a full handshake on the
+// same connection.
+func (s *Server) handshakeResume(rw io.ReadWriter, sh *shard, helloID uint16) (*Channel, *tenant, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(rw, hdr[:]); err != nil {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: resume hello: %w", err)
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if n == 0 || n > maxTicketWire {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: resume ticket length %d out of range", n)
+	}
+	ext := make([]byte, n+randomLen)
+	if _, err := io.ReadFull(rw, ext); err != nil {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("protocol: resume hello: %w", err)
+	}
+	tkt := ext[:n]
+	var clientRand [randomLen]byte
+	copy(clientRand[:], ext[n:])
+
+	if s.ticketsEnabled() {
+		st, replayID, err := s.keeper.Open(tkt)
+		if err == nil && (helloID == 0 || helloID == st.ParamsID) {
+			if t := s.tenantByID(st.ParamsID); t != nil && t.id == st.ParamsID {
+				if !s.replay.Seen(replayID, st.Expiry) {
+					return s.resumeChannel(rw, sh, t, st, clientRand)
+				}
+			}
+		}
+	}
+
+	// Fall back to a full handshake for the set the hello named. The
+	// client clearly wants tickets, so the downgrade reissues one.
+	t := s.tenantByID(helloID)
+	if t == nil {
+		s.rejected.Add(1)
+		rw.Write([]byte{statusReject})
+		return nil, nil, fmt.Errorf("protocol: no tenant serves parameter-set ID %d: %w", helloID, ringlwe.ErrParamsMismatch)
+	}
+	t.counters(sh).ticketFallbacks.Add(1)
+	return s.serverKEMFlight(rw, sh, t, statusFallback, true)
+}
+
+// resumeChannel completes an accepted resumption: fresh server random,
+// reissued single-use ticket, and a key schedule derived from the
+// ticket's master secret plus both randoms.
+func (s *Server) resumeChannel(rw io.ReadWriter, sh *shard, t *tenant, st ticket.State, clientRand [randomLen]byte) (*Channel, *tenant, error) {
+	var serverRand [randomLen]byte
+	if _, err := io.ReadFull(s.rand, serverRand[:]); err != nil {
+		return nil, t, fmt.Errorf("protocol: server random: %w", err)
+	}
+	resp := make([]byte, 0, 1+randomLen)
+	resp = append(resp, statusOK)
+	resp = append(resp, serverRand[:]...)
+	if _, err := rw.Write(resp); err != nil {
+		return nil, t, fmt.Errorf("protocol: sending resume status: %w", err)
+	}
+	if err := s.issueTicket(rw, sh, t, st.Epoch, st.Secret); err != nil {
+		return nil, t, fmt.Errorf("protocol: reissuing ticket: %w", err)
+	}
+	counters := t.counters(sh)
+	ch := &Channel{
+		rw:      rw,
+		version: protocolV2,
+		scheme:  t.scheme,
+		localSK: t.sk,
+		onRekey: func() { counters.rekeys.Add(1) },
+		resumed: true,
+	}
+	shared := resumedShared(t.scheme.Params().Name(), st.Epoch, st.Secret, clientRand, serverRand)
+	ch.deriveKeysV2(shared, 0, false)
+	return ch, t, nil
+}
+
 // handshakeV1 answers a legacy tagged hello exactly as the original
 // single-tenant server did, dispatching on the one-byte tag.
-func (s *Server) handshakeV1(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+func (s *Server) handshakeV1(rw io.ReadWriter, sh *shard, hello [helloV1Len]byte) (*Channel, *tenant, error) {
 	if hello[3] != 0 {
 		s.rejected.Add(1)
 		return nil, nil, errors.New("protocol: malformed v1 hello")
@@ -283,11 +517,9 @@ func (s *Server) handshakeV1(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 		if _, err := io.ReadFull(rw, blob); err != nil {
 			return nil, t, fmt.Errorf("protocol: reading encapsulation: %w", err)
 		}
-		ws := t.scheme.AcquireWorkspace()
-		key, err := ws.Decapsulate(t.sk, ringlwe.EncapsulatedKey(blob))
-		t.scheme.ReleaseWorkspace(ws)
+		key, err := s.decapsulate(sh, t, ringlwe.EncapsulatedKey(blob))
 		if errors.Is(err, ringlwe.ErrDecapsulation) {
-			t.retries.Add(1)
+			t.counters(sh).retries.Add(1)
 			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
 				return nil, t, fmt.Errorf("protocol: sending retry: %w", werr)
 			}
@@ -312,48 +544,164 @@ func (s *Server) handshakeV1(rw io.ReadWriter, hello [helloV1Len]byte) (*Channel
 	return nil, t, errors.New("protocol: too many decapsulation retries")
 }
 
-// Serve accepts connections on ln and serves each on its own goroutine
-// until the listener fails or Shutdown/Close is called, in which case it
-// returns ErrServerClosed.
-func (s *Server) Serve(ln net.Listener) error {
-	s.connMu.Lock()
-	s.ln = ln
-	s.connMu.Unlock()
+// startLoops launches the per-shard dispatcher and decapsulation-batcher
+// goroutines, once, on first serve.
+func (s *Server) startLoops() {
+	s.loopOnce.Do(func() {
+		for _, sh := range s.shards {
+			go sh.dispatch(s.loopStop)
+			go sh.batchDecaps(s.loopStop)
+		}
+	})
+}
+
+// stopLoops ends the shard goroutines after the last connection unwinds.
+func (s *Server) stopLoops() {
+	s.stopOnce.Do(func() { close(s.loopStop) })
+}
+
+// acceptLoop accepts until the listener dies or the server closes,
+// retrying temporary failures (EMFILE, ECONNABORTED bursts, …) with a
+// capped exponential backoff instead of tearing the serving loop down.
+func (s *Server) acceptLoop(ln net.Listener, dispatch func(net.Conn)) error {
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.closing.Load() {
 				return ErrServerClosed
 			}
+			var te interface{ Temporary() bool }
+			if errors.As(err, &te) && te.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				if s.logf != nil {
+					s.logf("accept: temporary error (retrying in %v): %v", backoff, err)
+				}
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
-		s.wg.Add(1)
-		go s.serveConn(conn)
+		backoff = 0
+		dispatch(conn)
 	}
 }
 
-// serveConn runs one connection: handshake, per-params accounting, then
-// the handler.
-func (s *Server) serveConn(conn net.Conn) {
+// Serve accepts connections on ln until the listener fails or
+// Shutdown/Close is called, in which case it returns ErrServerClosed. The
+// single accept loop feeds connections round-robin into the shard
+// dispatchers; for kernel-sharded accepts use Listen + ServeListeners.
+func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	s.lns = append(s.lns, ln)
+	s.connMu.Unlock()
+	s.startLoops()
+	return s.acceptLoop(ln, func(conn net.Conn) {
+		sh := s.shards[int(s.nextShard.Add(1))%len(s.shards)]
+		s.wg.Add(1)
+		sh.queue <- conn
+	})
+}
+
+// Listen binds the server's accept lanes on addr: one SO_REUSEPORT
+// listener per shard where the platform supports it (the kernel then
+// spreads connections across the shard accept loops), or a single
+// listener otherwise. It returns the bound address (useful with ":0") —
+// follow with ServeListeners.
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	lns, err := listenReuseport(network, addr, s.numShards)
+	if err != nil {
+		ln, lerr := net.Listen(network, addr)
+		if lerr != nil {
+			return nil, lerr
+		}
+		lns = []net.Listener{ln}
+	}
+	s.connMu.Lock()
+	s.lns = append(s.lns, lns...)
+	s.connMu.Unlock()
+	return lns[0].Addr(), nil
+}
+
+// ServeListeners runs the accept loops bound by Listen until shutdown
+// (returning ErrServerClosed) or a listener failure. With reuseport
+// listeners each accept loop feeds its own shard directly; with a single
+// listener it degrades to Serve's round-robin dispatch.
+func (s *Server) ServeListeners() error {
+	s.connMu.Lock()
+	lns := append([]net.Listener(nil), s.lns...)
+	s.connMu.Unlock()
+	if len(lns) == 0 {
+		return errors.New("protocol: ServeListeners without Listen")
+	}
+	if len(lns) == 1 {
+		return s.Serve(lns[0])
+	}
+	s.startLoops()
+	errc := make(chan error, len(lns))
+	for i, ln := range lns {
+		sh := s.shards[i%len(s.shards)]
+		go func(ln net.Listener, sh *shard) {
+			errc <- s.acceptLoop(ln, func(conn net.Conn) {
+				s.wg.Add(1)
+				go s.serveConn(conn, sh)
+			})
+		}(ln, sh)
+	}
+	first := <-errc
+	// One lane failing (or shutdown) brings the rest down too.
+	s.closeListeners()
+	for i := 1; i < len(lns); i++ {
+		<-errc
+	}
+	return first
+}
+
+// ListenAndServe binds addr (Listen) and serves until shutdown
+// (ServeListeners).
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen("tcp", addr); err != nil {
+		return err
+	}
+	return s.ServeListeners()
+}
+
+// serveConn runs one connection on its shard: handshake under the
+// handshake deadline, per-params accounting, then the handler.
+func (s *Server) serveConn(conn net.Conn, sh *shard) {
 	defer s.wg.Done()
 	defer conn.Close()
 	s.trackConn(conn, true)
 	defer s.trackConn(conn, false)
 
-	ch, t, err := s.handshake(conn)
+	if s.hsTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.hsTimeout))
+	}
+	ch, t, err := s.handshake(conn, sh)
 	if err != nil {
 		if t != nil {
-			t.failures.Add(1)
+			t.counters(sh).failures.Add(1)
 		}
 		if s.logf != nil {
 			s.logf("handshake with %s failed: %v", conn.RemoteAddr(), err)
 		}
 		return
 	}
-	// KEM retries were already counted inside the handshake loop.
-	t.handshakes.Add(1)
-	t.active.Add(1)
-	defer t.active.Add(-1)
+	if s.hsTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	counters := t.counters(sh)
+	if ch.resumed {
+		counters.resumed.Add(1)
+	} else {
+		counters.handshakes.Add(1)
+	}
+	counters.active.Add(1)
+	defer counters.active.Add(-1)
 	if s.handler != nil {
 		s.handler(ch)
 	}
@@ -369,18 +717,22 @@ func (s *Server) trackConn(conn net.Conn, add bool) {
 	}
 }
 
-// Shutdown gracefully stops the server: the listener closes immediately
-// (Serve returns ErrServerClosed), established channels keep running
-// until their handlers finish or ctx expires, at which point their
+func (s *Server) closeListeners() {
+	s.connMu.Lock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// Shutdown gracefully stops the server: every listener closes immediately
+// (the serve loops return ErrServerClosed), established channels keep
+// running until their handlers finish or ctx expires, at which point their
 // connections are force-closed and Shutdown waits for the handlers to
 // unwind before returning ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closing.Store(true)
-	s.connMu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
-	}
-	s.connMu.Unlock()
+	s.closeListeners()
 
 	done := make(chan struct{})
 	go func() {
@@ -389,6 +741,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopLoops()
 		return nil
 	case <-ctx.Done():
 		s.connMu.Lock()
@@ -397,11 +750,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.connMu.Unlock()
 		<-done
+		s.stopLoops()
 		return ctx.Err()
 	}
 }
 
-// Close stops the server immediately: the listener and every active
+// Close stops the server immediately: the listeners and every active
 // connection are closed and Close waits for the handlers to unwind.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -414,13 +768,16 @@ func (s *Server) Close() error {
 }
 
 // Counters is one tenant's monotonic totals (and current active-channel
-// gauge) since the server started.
+// gauge) since the server started, merged across shards.
 type Counters struct {
-	Handshakes     uint64 `json:"handshakes"`
-	Failures       uint64 `json:"handshake_failures"`
-	Retries        uint64 `json:"kem_retries"`
-	Rekeys         uint64 `json:"rekeys"`
-	ActiveChannels int64  `json:"active_channels"`
+	Handshakes      uint64 `json:"handshakes"`
+	Resumed         uint64 `json:"resumed"`
+	Failures        uint64 `json:"handshake_failures"`
+	Retries         uint64 `json:"kem_retries"`
+	Rekeys          uint64 `json:"rekeys"`
+	TicketsIssued   uint64 `json:"tickets_issued"`
+	TicketFallbacks uint64 `json:"ticket_fallbacks"`
+	ActiveChannels  int64  `json:"active_channels"`
 }
 
 // Stats is an expvar-style snapshot of the server: per-parameter-set
@@ -430,6 +787,7 @@ type Counters struct {
 //	expvar.Publish("rlwe_server", expvar.Func(func() any { return srv.Stats() }))
 type Stats struct {
 	Rejected  uint64              `json:"rejected_hellos"`
+	Shards    int                 `json:"shards"`
 	PerParams map[string]Counters `json:"per_params"`
 }
 
@@ -443,22 +801,30 @@ func (st Stats) String() string {
 }
 
 // Stats returns a consistent point-in-time snapshot of the per-params
-// counters. Safe to call concurrently with serving.
+// counters, summing the per-shard slots with atomic loads — no lock on
+// any serving path. Safe to call concurrently with serving.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
 		Rejected:  s.rejected.Load(),
+		Shards:    s.numShards,
 		PerParams: make(map[string]Counters, len(s.tenants)),
 	}
 	for _, t := range s.tenants {
-		st.PerParams[t.scheme.Params().Name()] = Counters{
-			Handshakes:     t.handshakes.Load(),
-			Failures:       t.failures.Load(),
-			Retries:        t.retries.Load(),
-			Rekeys:         t.rekeys.Load(),
-			ActiveChannels: t.active.Load(),
+		var c Counters
+		for i := range t.perShard {
+			sc := &t.perShard[i]
+			c.Handshakes += sc.handshakes.Load()
+			c.Resumed += sc.resumed.Load()
+			c.Failures += sc.failures.Load()
+			c.Retries += sc.retries.Load()
+			c.Rekeys += sc.rekeys.Load()
+			c.TicketsIssued += sc.ticketsIssued.Load()
+			c.TicketFallbacks += sc.ticketFallbacks.Load()
+			c.ActiveChannels += sc.active.Load()
 		}
+		st.PerParams[t.scheme.Params().Name()] = c
 	}
 	return st
 }

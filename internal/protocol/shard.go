@@ -1,0 +1,150 @@
+package protocol
+
+import (
+	"net"
+
+	"ringlwe"
+)
+
+// decapBatchMax bounds how many pending first flights one shard fans into
+// a single DecapsulateBatch call. Bursts larger than this simply batch
+// again on the next loop iteration.
+const decapBatchMax = 16
+
+// shardQueueDepth sizes the per-shard connection and decapsulation
+// queues; accepts beyond it apply backpressure to the accept loop.
+const shardQueueDepth = 64
+
+// decapReq is one handshake's pending decapsulation, submitted to its
+// shard's batcher; the result comes back on done.
+type decapReq struct {
+	t    *tenant
+	blob ringlwe.EncapsulatedKey
+	done chan decapRes
+}
+
+type decapRes struct {
+	key [ringlwe.SharedKeySize]byte
+	err error
+}
+
+// shard is one serving lane: an accept feed, a decapsulation batcher and
+// a private per-tenant workspace — no state shared with other shards, so
+// the handshake hot path never contends across lanes. Per-shard counters
+// live on the tenant (tenant.perShard[id]) so Stats can merge them
+// lock-free.
+type shard struct {
+	id  int
+	srv *Server
+
+	// queue feeds connections from a single shared accept loop to this
+	// shard's dispatcher (the fallback when SO_REUSEPORT listeners are
+	// unavailable; with reuseport each shard's accept loop dispatches
+	// directly).
+	queue chan net.Conn
+
+	// decapQ feeds pending first-flight decapsulations to the batcher.
+	decapQ chan *decapReq
+
+	// ws is the shard's own workspace per tenant, used by the batcher for
+	// singleton decapsulations — only the batcher goroutine touches it.
+	ws map[*tenant]*ringlwe.Workspace
+}
+
+func newShard(id int, srv *Server) *shard {
+	return &shard{
+		id:     id,
+		srv:    srv,
+		queue:  make(chan net.Conn, shardQueueDepth),
+		decapQ: make(chan *decapReq, shardQueueDepth),
+		ws:     make(map[*tenant]*ringlwe.Workspace),
+	}
+}
+
+// dispatch serves the shard's connection queue until the server stops:
+// each queued connection gets its own handshake goroutine tagged with
+// this shard.
+func (sh *shard) dispatch(stop <-chan struct{}) {
+	for {
+		select {
+		case conn := <-sh.queue:
+			go sh.srv.serveConn(conn, sh)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// batchDecaps is the shard's decapsulation batcher: it blocks for one
+// request, opportunistically drains whatever else is already pending, and
+// runs multi-request bursts through DecapsulateBatch — so an accept burst
+// pays the KEM bill on the batch worker pool instead of serially.
+func (sh *shard) batchDecaps(stop <-chan struct{}) {
+	reqs := make([]*decapReq, 0, decapBatchMax)
+	for {
+		select {
+		case r := <-sh.decapQ:
+			reqs = append(reqs[:0], r)
+		drain:
+			for len(reqs) < decapBatchMax {
+				select {
+				case r := <-sh.decapQ:
+					reqs = append(reqs, r)
+				default:
+					break drain
+				}
+			}
+			sh.runDecaps(reqs)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// runDecaps groups a burst by tenant and decapsulates each group:
+// singletons on the shard's own workspace (no pool traffic at all),
+// multi-flight groups through the tenant scheme's batch worker pool.
+func (sh *shard) runDecaps(reqs []*decapReq) {
+	remaining := reqs
+	for len(remaining) > 0 {
+		t := remaining[0].t
+		group := make([]*decapReq, 0, len(remaining))
+		rest := remaining[:0]
+		for _, r := range remaining {
+			if r.t == t {
+				group = append(group, r)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		sh.decapGroup(t, group)
+		remaining = rest
+	}
+}
+
+func (sh *shard) decapGroup(t *tenant, group []*decapReq) {
+	if len(group) == 1 {
+		key, err := sh.workspace(t).Decapsulate(t.sk, group[0].blob)
+		group[0].done <- decapRes{key: key, err: err}
+		return
+	}
+	blobs := make([]ringlwe.EncapsulatedKey, len(group))
+	for i, r := range group {
+		blobs[i] = r.blob
+	}
+	keys, errs := t.scheme.DecapsulateBatch(t.sk, blobs)
+	for i, r := range group {
+		r.done <- decapRes{key: keys[i], err: errs[i]}
+	}
+}
+
+// workspace returns the shard's private workspace for a tenant, creating
+// it on first use. Only the batcher goroutine calls this.
+func (sh *shard) workspace(t *tenant) *ringlwe.Workspace {
+	ws := sh.ws[t]
+	if ws == nil {
+		ws = t.scheme.NewWorkspace()
+		sh.ws[t] = ws
+	}
+	return ws
+}
