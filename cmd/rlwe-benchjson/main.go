@@ -40,7 +40,9 @@ import (
 
 // Result is one benchmark line: its name (with the -GOMAXPROCS suffix
 // stripped), iteration count, and every reported metric keyed by unit
-// (ns/op, B/op, allocs/op, plus custom ReportMetric units like m4cyc).
+// (ns/op, B/op, allocs/op, plus custom units like m4cyc or the
+// rlwe-loadgen latency percentiles p50-ns/p99-ns — any "value unit"
+// pair on the line is captured).
 type Result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`

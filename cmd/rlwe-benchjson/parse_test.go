@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseLoadgenPercentiles pins the generic metric-pair parsing on a
+// real rlwe-loadgen line: the p50-ns/p99-ns pairs the loadgen now emits
+// must land in the Metrics map next to ns/op and the derived ops/s, with
+// the -GOMAXPROCS suffix stripped from the name.
+func TestParseLoadgenPercentiles(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+cpu-cores: 8
+BenchmarkLoadgen/P1/shards=1/resume=90/rekey=0-8	12345	81000 ns/op	12345 hs/s/core	0.90 resumed-frac	610000 p50-ns	940000 p99-ns
+PASS
+`
+	results, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkLoadgen/P1/shards=1/resume=90/rekey=0" {
+		t.Errorf("name = %q (GOMAXPROCS suffix not stripped?)", r.Name)
+	}
+	if r.Iterations != 12345 {
+		t.Errorf("iterations = %d, want 12345", r.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":        81000,
+		"hs/s/core":    12345,
+		"resumed-frac": 0.90,
+		"p50-ns":       610000,
+		"p99-ns":       940000,
+		"ops/s":        1e9 / 81000,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %q = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestParseIgnoresNoise checks non-benchmark lines never produce results.
+func TestParseIgnoresNoise(t *testing.T) {
+	const out = `ok  	ringlwe	1.2s
+--- PASS: TestSomething
+BenchmarkBroken	notanumber	5 ns/op
+`
+	results, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise, want 0", len(results))
+	}
+}

@@ -10,16 +10,25 @@
 // prints the per-params counter snapshot.
 //
 //	rlwe-channel serve   -addr 127.0.0.1:9999 -params P1,P2
+//	rlwe-channel serve   -addr 127.0.0.1:9999 -debug-addr 127.0.0.1:9998 -log
 //	rlwe-channel connect -addr 127.0.0.1:9999 -params P2 -msg "hello"
 //	rlwe-channel connect -addr 127.0.0.1:9999 -params P1 -proto v1
 //	rlwe-channel connect -addr 127.0.0.1:9999 -rekey 2 -count 8
+//
+// -debug-addr serves the opt-in admin endpoint (Prometheus /metrics,
+// expvar-style /debug/vars, net/http/pprof) on its own listener — bind
+// it to loopback or an otherwise access-controlled address. -log emits
+// structured slog lines (accept backoff, handshake failures with their
+// classified reason, ticket fallbacks) to stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +52,8 @@ func main() {
 	msg := fs.String("msg", "ping", "message to send (connect mode)")
 	count := fs.Int("count", 3, "how many messages to send (connect mode)")
 	once := fs.Bool("once", false, "serve a single connection and exit")
+	debugAddr := fs.String("debug-addr", "", "serve the debug/metrics endpoint on this address (serve mode; empty = disabled)")
+	structured := fs.Bool("log", false, "structured slog logging to stderr (serve mode)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
@@ -52,7 +63,7 @@ func main() {
 		if *paramsList == "" {
 			*paramsList = "P1,P2"
 		}
-		serve(*addr, parseParamsList(*paramsList), *once)
+		serve(*addr, parseParamsList(*paramsList), *once, *debugAddr, *structured)
 	case "connect":
 		connect(*addr, strings.TrimSpace(*paramsList), *proto, *rekey, *msg, *count)
 	default:
@@ -88,13 +99,14 @@ func paramsByName(name string) *ringlwe.Params {
 	return sets[0]
 }
 
-func serve(addr string, params []*ringlwe.Params, once bool) {
-	srv := protocol.NewServer(
-		protocol.WithHandler(echo),
-		protocol.WithLogf(func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}),
-	)
+func serve(addr string, params []*ringlwe.Params, once bool, debugAddr string, structured bool) {
+	logOpt := protocol.WithLogf(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if structured {
+		logOpt = protocol.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	srv := protocol.NewServer(protocol.WithHandler(echo), logOpt)
 	for _, p := range params {
 		if err := srv.AddParams(p); err != nil {
 			fatal(err)
@@ -109,6 +121,19 @@ func serve(addr string, params []*ringlwe.Params, once bool) {
 		names = append(names, fmt.Sprintf("%s (%d B public key)", p.Name(), p.PublicKeySize()))
 	}
 	fmt.Printf("listening on %s, serving %s\n", ln.Addr(), strings.Join(names, ", "))
+
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("debug listener: %w", err))
+		}
+		fmt.Printf("debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, srv.DebugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "rlwe-channel: debug endpoint:", err)
+			}
+		}()
+	}
 
 	if once {
 		conn, err := ln.Accept()
@@ -215,11 +240,15 @@ func fatal(err error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rlwe-channel serve   -addr HOST:PORT [-params P1,P2] [-once]
+                       [-debug-addr HOST:PORT] [-log]
   rlwe-channel connect -addr HOST:PORT [-params P1|P2] [-proto v2|v1]
                        [-rekey N] [-msg TEXT] [-count N]
 
 serve answers v2 (negotiated) and legacy v1 clients on one port, one
-tenant per -params entry (default P1,P2). connect without -params
-negotiates the server's default set from its public-key header.`)
+tenant per -params entry (default P1,P2). -debug-addr additionally
+serves Prometheus /metrics, /debug/vars and pprof on its own listener;
+-log switches stderr reporting to structured slog lines. connect
+without -params negotiates the server's default set from its public-key
+header.`)
 	os.Exit(2)
 }

@@ -13,9 +13,11 @@
 // Each line's ns/op is core-nanoseconds per completed handshake
 // (wall time × GOMAXPROCS ÷ handshakes), so the derived ops/s metric is
 // exactly handshakes/s-per-core and numbers from 1-core and all-core
-// runs are directly comparable:
+// runs are directly comparable. Every worker also feeds its wall-clock
+// per-handshake latency into an obs histogram, and the cell line
+// carries the merged p50/p99 as extra metric pairs:
 //
-//	BenchmarkLoadgen/P1/shards=1/resume=90/rekey=0-8  12345  81000 ns/op  12345 hs/s/core
+//	BenchmarkLoadgen/P1/shards=1/resume=90/rekey=0-8  12345  81000 ns/op  12345 hs/s/core  0.90 resumed-frac  610000 p50-ns  940000 p99-ns
 //
 // The sweep axes:
 //
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	"ringlwe"
+	"ringlwe/internal/obs"
 	"ringlwe/internal/protocol"
 )
 
@@ -59,6 +62,7 @@ type cellResult struct {
 	handshakes uint64 // full + resumed
 	resumed    uint64
 	elapsed    time.Duration
+	latency    obs.HistogramSnapshot // wall-clock per-handshake latency, µs
 }
 
 func main() {
@@ -91,9 +95,10 @@ func main() {
 			os.Exit(1)
 		}
 		coreNS := float64(res.elapsed.Nanoseconds()) * float64(ncore) / float64(res.handshakes)
-		fmt.Printf("%s\t%d\t%.0f ns/op\t%.0f hs/s/core\t%.2f resumed-frac\n",
+		fmt.Printf("%s\t%d\t%.0f ns/op\t%.0f hs/s/core\t%.2f resumed-frac\t%d p50-ns\t%d p99-ns\n",
 			cellName(c, ncore), res.handshakes, coreNS, 1e9/coreNS,
-			float64(res.resumed)/float64(res.handshakes))
+			float64(res.resumed)/float64(res.handshakes),
+			res.latency.Quantile(0.50)*1000, res.latency.Quantile(0.99)*1000)
 	}
 }
 
@@ -193,6 +198,9 @@ func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
 	go func() { serveDone <- srv.ServeListeners() }()
 
 	scheme := ringlwe.New(c.params)
+	// One histogram slot per worker: handshake latencies record without
+	// any cross-worker contention and merge once at cell end.
+	latency := obs.NewHistogram(conns)
 	var (
 		total   atomic.Uint64
 		resumed atomic.Uint64
@@ -217,6 +225,7 @@ func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
 				return
 			}
 			wantResume := c.resumePct > 0 && ses.Valid() && (i*37+id)%100 < c.resumePct
+			hsStart := time.Now()
 			var ch *protocol.Channel
 			if wantResume {
 				ch, err = protocol.ClientResume(conn, ses, protocol.WithRekeyAfter(uint64(c.rekey)))
@@ -229,6 +238,7 @@ func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
 				fail(fmt.Errorf("worker %d: %w", id, err))
 				return
 			}
+			hsDur := time.Since(hsStart)
 			if ch.Session() != nil {
 				ses = ch.Session() // tickets are single-use; chain the reissue
 			}
@@ -254,6 +264,7 @@ func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
 				continue
 			}
 			total.Add(1)
+			latency.ObserveDuration(id, hsDur)
 			if ch.Resumed() {
 				resumed.Add(1)
 			}
@@ -281,5 +292,5 @@ func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
 	if n == 0 {
 		return cellResult{}, fmt.Errorf("no handshakes completed in %v", dur)
 	}
-	return cellResult{handshakes: n, resumed: resumed.Load(), elapsed: elapsed}, nil
+	return cellResult{handshakes: n, resumed: resumed.Load(), elapsed: elapsed, latency: latency.Snapshot()}, nil
 }

@@ -1,0 +1,37 @@
+package obs_test
+
+import (
+	"fmt"
+	"time"
+
+	"ringlwe/internal/obs"
+)
+
+// ExampleTracer shows the shape of a trace hook: a TracerFunc that
+// feeds phase latencies into a per-phase histogram family — the same
+// wiring protocol.WithTracer expects. OnSpan runs inline on the traced
+// connection's goroutine, so real hooks should stay this cheap.
+func ExampleTracer() {
+	reg := obs.NewRegistry()
+	phaseHist := func(p obs.Phase) *obs.Histogram {
+		return reg.Histogram("handshake_phase_us", "per-phase handshake latency",
+			obs.Labels{"phase": p.String()}, 1)
+	}
+
+	var tracer obs.Tracer = obs.TracerFunc(func(s obs.Span) {
+		if s.Err != nil {
+			return // count only successful phases here
+		}
+		phaseHist(s.Phase).ObserveDuration(0, s.Dur)
+	})
+
+	// The protocol layer emits spans like these during a handshake
+	// (pass the tracer via protocol.WithTracer to receive real ones).
+	conn := obs.NextConnID()
+	tracer.OnSpan(obs.Span{Conn: conn, Phase: obs.PhaseHello, Dur: 12 * time.Microsecond})
+	tracer.OnSpan(obs.Span{Conn: conn, Phase: obs.PhaseKEMFlight, Dur: 230 * time.Microsecond})
+
+	s := phaseHist(obs.PhaseKEMFlight).Snapshot()
+	fmt.Printf("kem-flight observations: %d, max %dus\n", s.Count, s.Max)
+	// Output: kem-flight observations: 1, max 230us
+}

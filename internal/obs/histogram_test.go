@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketBounds pins the bucket geometry: every value lands in the
+// bucket whose bounds contain it.
+func TestBucketBounds(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 255, 256, 1 << 20, 1 << 26, 1 << 27, 1 << 40, ^uint64(0)} {
+		i := bucketOf(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || v > hi {
+			t.Errorf("value %d mapped to bucket %d [%d, %d]", v, i, lo, hi)
+		}
+	}
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 0 {
+		t.Errorf("zero bucket bounds [%d, %d], want [0, 0]", lo, hi)
+	}
+}
+
+// TestQuantileVsReferenceSort drives the histogram with several value
+// distributions and checks every estimated quantile against the exact
+// order statistic from a reference sort: the estimate must land inside
+// the bucket that holds the exact value (the histogram's resolution
+// contract — log2 buckets bound the relative error by 2x).
+func TestQuantileVsReferenceSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func(i int) uint64{
+		"uniform":  func(int) uint64 { return uint64(rng.Intn(1_000_000)) },
+		"constant": func(int) uint64 { return 7777 },
+		"bimodal": func(i int) uint64 {
+			if i%10 == 0 {
+				return 500_000 + uint64(rng.Intn(1000)) // slow tail
+			}
+			return 25 + uint64(rng.Intn(50)) // fast mode
+		},
+		"heavy-tail": func(int) uint64 {
+			v := uint64(1)
+			for rng.Intn(2) == 0 && v < 1<<30 {
+				v *= 2
+			}
+			return v + uint64(rng.Intn(int(v)))
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			const n = 20000
+			h := NewHistogram(4)
+			values := make([]uint64, n)
+			for i := range values {
+				values[i] = gen(i)
+				h.Observe(i, values[i])
+			}
+			sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+			s := h.Snapshot()
+			if s.Count != n {
+				t.Fatalf("count %d, want %d", s.Count, n)
+			}
+			if s.Max != values[n-1] {
+				t.Fatalf("max %d, want %d", s.Max, values[n-1])
+			}
+			for _, q := range []float64{0, 0.25, 0.50, 0.90, 0.99, 0.999, 1} {
+				// Same rank arithmetic as Quantile, so the exact order
+				// statistic and the estimate target the same element.
+				idx := int(q * float64(n))
+				if idx >= n {
+					idx = n - 1
+				}
+				exact := values[idx]
+				got := s.Quantile(q)
+				lo, hi := BucketBounds(bucketOf(exact))
+				if hi > s.Max {
+					hi = s.Max
+				}
+				if got < lo || got > hi {
+					t.Errorf("q=%.3f: estimate %d outside bucket [%d, %d] of exact value %d",
+						q, got, lo, hi, exact)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileEmpty checks the degenerate snapshots.
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot p50 = %d, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Errorf("empty snapshot mean = %v, want 0", got)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0, uint64(i)&0xFFFFF)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(0)
+	}
+}

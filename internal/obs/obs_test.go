@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from
+// many goroutines across all shard slots (more goroutines than slots,
+// so the wrap path runs too) and checks the merged totals — the -race
+// build makes this a data-race proof as well.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	const (
+		shards     = 4
+		goroutines = 16
+		perG       = 10000
+	)
+	c := NewCounter(shards)
+	g := NewGauge(shards)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc(id)
+				g.Inc(id)
+				if j%2 == 0 {
+					g.Dec(id)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(goroutines*perG); got != want {
+		t.Errorf("counter merged to %d, want %d", got, want)
+	}
+	if got, want := g.Value(), int64(goroutines*perG/2); got != want {
+		t.Errorf("gauge merged to %d, want %d", got, want)
+	}
+}
+
+// TestHistogramConcurrent checks count/sum/max survive concurrent
+// writers on shared and private shard slots.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		shards     = 3
+		goroutines = 12
+		perG       = 5000
+	)
+	h := NewHistogram(shards)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(id, uint64(j%100))
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if got, want := s.Count, uint64(goroutines*perG); got != want {
+		t.Errorf("histogram count %d, want %d", got, want)
+	}
+	if got, want := s.Max, uint64(99); got != want {
+		t.Errorf("histogram max %d, want %d", got, want)
+	}
+	var wantSum uint64
+	for j := 0; j < perG; j++ {
+		wantSum += uint64(j % 100)
+	}
+	wantSum *= goroutines
+	if s.Sum != wantSum {
+		t.Errorf("histogram sum %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestZeroAllocObs pins the hot-path allocation contract: counter
+// increments, gauge deltas and histogram observes must not allocate.
+// The ZeroAlloc name keeps it inside CI's allocation-regression run.
+func TestZeroAllocObs(t *testing.T) {
+	c := NewCounter(4)
+	g := NewGauge(4)
+	h := NewHistogram(4)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(1) }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(2, -1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3, 1234) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(0, 42*time.Microsecond) }); n != 0 {
+		t.Errorf("Histogram.ObserveDuration allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestRegistryIdempotent checks the share-one-series contract: same
+// name and labels return the same metric, different labels a different
+// one, and a kind clash panics.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels{"p": "1"}, 1)
+	b := r.Counter("x_total", "", Labels{"p": "1"}, 1)
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("x_total", "", Labels{"p": "2"}, 1); c == a {
+		t.Error("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", nil, 1)
+}
+
+// TestPrometheusExposition scrapes a small registry and line-parses the
+// exposition: HELP/TYPE per family, sample values, cumulative histogram
+// buckets ending at the _count, and label rendering with and without a
+// le join.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rlwe_test_total", "test counter", Labels{"params": "P1"}, 2).Add(1, 7)
+	r.Gauge("rlwe_test_active", "test gauge", nil, 1).Add(0, 3)
+	h := r.Histogram("rlwe_test_us", "test histogram", Labels{"path": "full"}, 2)
+	for _, v := range []uint64{0, 1, 3, 200, 70000} {
+		h.Observe(0, v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for _, want := range []string{
+		"# TYPE rlwe_test_total counter",
+		`rlwe_test_total{params="P1"} 7`,
+		"# TYPE rlwe_test_active gauge",
+		"rlwe_test_active 3",
+		"# TYPE rlwe_test_us histogram",
+		`rlwe_test_us_bucket{path="full",le="0"} 1`,
+		`rlwe_test_us_bucket{path="full",le="1"} 2`,
+		`rlwe_test_us_bucket{path="full",le="+Inf"} 5`,
+		`rlwe_test_us_sum{path="full"} 70204`,
+		`rlwe_test_us_count{path="full"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line must parse as "name[{labels}] value" with
+	// a numeric value, and bucket series must be monotonically
+	// cumulative.
+	var lastCum int64 = -1
+	for sc := bufio.NewScanner(strings.NewReader(text)); sc.Scan(); {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		if strings.HasPrefix(line, "rlwe_test_us_bucket") {
+			if int64(v) < lastCum {
+				t.Fatalf("bucket series not cumulative at %q", line)
+			}
+			lastCum = int64(v)
+		}
+	}
+}
+
+// TestRegistryJSON checks the expvar-style rendering is valid JSON with
+// the summary fields on histogram entries.
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", Labels{"k": "v"}, 1).Inc(0)
+	h := r.Histogram("h_us", "", nil, 1)
+	h.Observe(0, 100)
+	h.Observe(0, 200)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON is not JSON: %v\n%s", err, buf.String())
+	}
+	if out[`c_total{k="v"}`] != float64(1) {
+		t.Errorf("counter entry = %v, want 1", out[`c_total{k="v"}`])
+	}
+	hist, ok := out["h_us"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram entry missing: %v", out)
+	}
+	for _, k := range []string{"count", "sum", "max", "mean", "p50", "p90", "p99"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("histogram summary missing %q", k)
+		}
+	}
+	if hist["count"] != float64(2) || hist["sum"] != float64(300) {
+		t.Errorf("histogram summary wrong: %v", hist)
+	}
+}

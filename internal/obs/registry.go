@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// instance is one labeled metric of a family; exactly one of the three
+// pointers is set, matching the family kind.
+type instance struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the instances of one metric name under a shared HELP
+// and TYPE.
+type family struct {
+	name      string
+	help      string
+	kind      metricKind
+	instances []*instance
+	byLabels  map[string]*instance
+}
+
+// Registry holds named metric families and renders them as Prometheus
+// text exposition or expvar-style JSON. Construction and exposition
+// take the registry lock; the returned Counter/Gauge/Histogram handles
+// are lock-free, so hot paths never touch the registry again.
+//
+// Registering the same name and label set twice returns the existing
+// metric (so independent wiring sites can share one series); reusing a
+// name with a different metric kind panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup finds or creates the family and instance for (name, labels),
+// filling the metric via mk on first registration.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels, mk func() *instance) *instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byLabels: make(map[string]*instance)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	key := labels.render()
+	if in := f.byLabels[key]; in != nil {
+		return in
+	}
+	in := mk()
+	in.labels = key
+	f.byLabels[key] = in
+	f.instances = append(f.instances, in)
+	sort.Slice(f.instances, func(i, j int) bool { return f.instances[i].labels < f.instances[j].labels })
+	return in
+}
+
+// Counter returns the registered counter for (name, labels), creating
+// it with one padded slot per shard on first use.
+func (r *Registry) Counter(name, help string, labels Labels, shards int) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() *instance {
+		return &instance{c: NewCounter(shards)}
+	}).c
+}
+
+// Gauge returns the registered gauge for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels, shards int) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func() *instance {
+		return &instance{g: NewGauge(shards)}
+	}).g
+}
+
+// Histogram returns the registered histogram for (name, labels).
+func (r *Registry) Histogram(name, help string, labels Labels, shards int) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels, func() *instance {
+		return &instance{h: NewHistogram(shards)}
+	}).h
+}
+
+// snapshotFamilies copies the family list under the lock so exposition
+// renders without holding it (the metrics themselves are atomic).
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.families...)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE once per family, one sample line
+// per counter or gauge instance, and the cumulative bucket series plus
+// _sum/_count for histograms, with le bounds in the histogram's own
+// unit (microseconds for the protocol latency series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, in := range f.instances {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, in.labels, in.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, in.labels, in.g.Value())
+			case kindHistogram:
+				writePromHistogram(bw, f.name, in)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one histogram instance's cumulative bucket
+// series. The le label joins the instance's own labels inside one brace
+// pair, so sliced and unsliced instances render uniformly.
+func writePromHistogram(w io.Writer, name string, in *instance) {
+	s := in.h.Snapshot()
+	joiner := "{"
+	base := ""
+	if in.labels != "" {
+		base = in.labels[:len(in.labels)-1] // strip closing brace
+		joiner = ","
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets-1; i++ {
+		cum += s.Buckets[i]
+		_, hi := BucketBounds(i)
+		fmt.Fprintf(w, "%s_bucket%s%sle=\"%d\"} %d\n", name, base, joiner, hi, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s%sle=\"+Inf\"} %d\n", name, base, joiner, s.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, in.labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, in.labels, s.Count)
+}
+
+// WriteJSON renders the registry as one JSON object keyed by
+// name{labels}: plain numbers for counters and gauges, and a summary
+// object (count, sum, max, mean, p50/p90/p99) for histograms — the
+// expvar-style companion to WritePrometheus.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		for _, in := range f.instances {
+			key := f.name + in.labels
+			switch f.kind {
+			case kindCounter:
+				out[key] = in.c.Value()
+			case kindGauge:
+				out[key] = in.g.Value()
+			case kindHistogram:
+				s := in.h.Snapshot()
+				out[key] = map[string]any{
+					"count": s.Count,
+					"sum":   s.Sum,
+					"max":   s.Max,
+					"mean":  s.Mean(),
+					"p50":   s.Quantile(0.50),
+					"p90":   s.Quantile(0.90),
+					"p99":   s.Quantile(0.99),
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

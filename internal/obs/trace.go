@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase names one traced stage of a connection's life. The handshake
+// phases arrive in wire order; the record and rekey phases repeat for
+// as long as the channel lives.
+type Phase uint8
+
+const (
+	// PhaseHello is the first-flight read: magic check and protocol
+	// generation detection.
+	PhaseHello Phase = iota
+	// PhaseNegotiate is v2 parameter-set resolution (hello extension
+	// read plus tenant lookup).
+	PhaseNegotiate
+	// PhaseKEMFlight is the full key-establishment flight: public key
+	// out, encapsulation in, decapsulation (batched on the shard), and
+	// the final status.
+	PhaseKEMFlight
+	// PhaseTicketOpen is the resumption-ticket decrypt and replay
+	// check.
+	PhaseTicketOpen
+	// PhaseTicketIssue is minting and writing a session ticket.
+	PhaseTicketIssue
+	// PhaseRecordEncrypt is sealing one record (encrypt + MAC + write).
+	PhaseRecordEncrypt
+	// PhaseRecordDecrypt is opening one record (read + verify +
+	// decrypt).
+	PhaseRecordDecrypt
+	// PhaseRekey is one in-band epoch roll, end to end (the client's
+	// encapsulate/ack round trip, or the server's accept/ack).
+	PhaseRekey
+)
+
+var phaseNames = [...]string{
+	"hello", "negotiate", "kem-flight", "ticket-open", "ticket-issue",
+	"record-encrypt", "record-decrypt", "rekey",
+}
+
+// String returns the phase's dashed name ("kem-flight").
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Span is one completed phase of one connection: which connection (a
+// process-unique id, so spans of one connection correlate), which
+// phase, how long it took, and the error that ended it (nil on
+// success).
+type Span struct {
+	Conn  uint64
+	Phase Phase
+	Dur   time.Duration
+	Err   error
+}
+
+// Tracer receives per-connection span callbacks from the protocol
+// layer. OnSpan runs inline on the traced path — on the serving
+// goroutine, between wire flights — so implementations must be cheap
+// and must not block; hand anything expensive to a channel or a
+// sampling decision. A nil Tracer disables tracing with no overhead
+// (the seam is not entered at all).
+type Tracer interface {
+	OnSpan(Span)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Span)
+
+// OnSpan calls f.
+func (f TracerFunc) OnSpan(s Span) { f(s) }
+
+// connSeq hands out process-unique connection ids for spans.
+var connSeq atomic.Uint64
+
+// NextConnID returns a fresh process-unique connection id for Span.Conn.
+func NextConnID() uint64 { return connSeq.Add(1) }

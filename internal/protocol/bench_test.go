@@ -114,6 +114,55 @@ func BenchmarkHandshakeResumeP1(b *testing.B) {
 
 var errDroppedToFull = fmt.Errorf("server completed a full handshake, not a resumption")
 
+// BenchmarkRecordRoundtripP1 measures the record layer's hot path with
+// the metrics accounting attached: one 1 KiB data record sealed by the
+// server (counters live, untraced) and opened by the client per op, over
+// an in-memory pipe. Guards the always-on observability cost on the
+// seal/open path.
+func BenchmarkRecordRoundtripP1(b *testing.B) {
+	srv := newTestServer(b, ringlwe.P1())
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	var server *Channel
+	sDone := make(chan error, 1)
+	go func() {
+		ch, err := srv.Handshake(sConn)
+		server = ch
+		sDone <- err
+	}()
+	client, err := Client(cConn, ringlwe.NewDeterministic(ringlwe.P1(), 9006))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := <-sDone; err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 1024)
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if err := server.Send(msg); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := <-errc; err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkRekey measures one full in-band epoch roll: the client's
 // encapsulation, the rekey/ack round trip, the server's decapsulation and
 // both key-schedule switches (plus one one-byte data record to force the

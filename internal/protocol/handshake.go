@@ -2,11 +2,11 @@ package protocol
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
 	"ringlwe"
+	"ringlwe/internal/obs"
 )
 
 // Client performs the initiator side of the v2 negotiated handshake: it
@@ -39,6 +39,8 @@ func ClientAuto(rw io.ReadWriter, opts ...Option) (*Channel, error) {
 // the server's blob must match; with scheme == nil, id is 0 and the scheme
 // is built from whatever registered set the blob's header names.
 func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*Channel, error) {
+	ct := newConnTrace(o.tracer)
+	t0 := ct.start()
 	var hello [helloV2Len]byte
 	binary.BigEndian.PutUint16(hello[:2], helloMagic)
 	hello[2] = helloV2Marker
@@ -48,34 +50,49 @@ func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*
 		hello[6] = helloFlagTicket
 	}
 	if _, err := rw.Write(hello[:]); err != nil {
-		return nil, fmt.Errorf("protocol: hello: %w", err)
+		err = fmt.Errorf("protocol: hello: %w", err)
+		ct.span(obs.PhaseHello, t0, err)
+		return nil, err
 	}
 
 	var status [1]byte
 	if _, err := io.ReadFull(rw, status[:]); err != nil {
-		return nil, fmt.Errorf("protocol: reading hello status: %w", err)
+		err = fmt.Errorf("protocol: reading hello status: %w", err)
+		ct.span(obs.PhaseHello, t0, err)
+		return nil, err
 	}
 	switch status[0] {
 	case statusOK:
 	case statusReject:
-		return nil, fmt.Errorf("protocol: server does not serve parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
+		err := fmt.Errorf("protocol: server does not serve parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
+		ct.span(obs.PhaseHello, t0, err)
+		return nil, err
 	default:
-		return nil, fmt.Errorf("protocol: unknown hello status %d", status[0])
+		err := fmt.Errorf("protocol: unknown hello status %d", status[0])
+		ct.span(obs.PhaseHello, t0, err)
+		return nil, err
 	}
+	ct.span(obs.PhaseHello, t0, nil)
 
 	// The server's first flight: a self-describing public-key blob, read
 	// without buffering — the six-byte header bounds the body exactly.
+	t0 = ct.start()
 	pk, err := ringlwe.ReadAnyPublicKeyFrom(rw)
 	if err != nil {
-		return nil, fmt.Errorf("protocol: reading server key: %w", err)
+		err = fmt.Errorf("protocol: reading server key: %w", err)
+		ct.span(obs.PhaseNegotiate, t0, err)
+		return nil, err
 	}
 	if scheme == nil {
 		scheme = ringlwe.New(pk.Params(), o.schemeOpts...)
 	} else if pk.Params().WireID() != id {
-		return nil, fmt.Errorf("protocol: server key is %s (wire ID %d), requested ID %d: %w",
+		err := fmt.Errorf("protocol: server key is %s (wire ID %d), requested ID %d: %w",
 			pk.Params().Name(), pk.Params().WireID(), id, ringlwe.ErrParamsMismatch)
+		ct.span(obs.PhaseNegotiate, t0, err)
+		return nil, err
 	}
-	return clientKEMFlight(rw, scheme, pk, o)
+	ct.span(obs.PhaseNegotiate, t0, nil)
+	return clientKEMFlight(rw, ct, scheme, pk, o)
 }
 
 // clientKEMFlight runs the initiator's encapsulation loop against an
@@ -83,7 +100,14 @@ func clientV2(rw io.ReadWriter, scheme *ringlwe.Scheme, id uint16, o options) (*
 // reading the session ticket when one was requested. It is shared by the
 // full v2 handshake and the resume-fallback path, which joins here after
 // the server's statusFallback.
-func clientKEMFlight(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, o options) (*Channel, error) {
+func clientKEMFlight(rw io.ReadWriter, ct *connTrace, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, o options) (*Channel, error) {
+	t0 := ct.start()
+	ch, err := clientKEMFlightInner(rw, ct, scheme, pk, o)
+	ct.span(obs.PhaseKEMFlight, t0, err)
+	return ch, err
+}
+
+func clientKEMFlightInner(rw io.ReadWriter, ct *connTrace, scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, o options) (*Channel, error) {
 	var status [1]byte
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		// Borrow a pooled workspace only for the KEM computation, not
@@ -111,6 +135,7 @@ func clientKEMFlight(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.Publi
 				peerPK:     pk,
 				rekeyAfter: o.rekeyAfter,
 				Retries:    attempt,
+				ct:         ct,
 			}
 			if o.wantTicket {
 				// The ticket flight follows the final status; a zero-length
@@ -137,7 +162,7 @@ func clientKEMFlight(rw io.ReadWriter, scheme *ringlwe.Scheme, pk *ringlwe.Publi
 			return nil, fmt.Errorf("protocol: unknown status %d", status[0])
 		}
 	}
-	return nil, errors.New("protocol: too many decapsulation retries")
+	return nil, errTooManyRetries
 }
 
 // ClientV1 performs the legacy tagged handshake (protocol version 1): a
@@ -199,7 +224,7 @@ func ClientV1(rw io.ReadWriter, scheme *ringlwe.Scheme) (*Channel, error) {
 			return nil, fmt.Errorf("protocol: unknown status %d", status[0])
 		}
 	}
-	return nil, errors.New("protocol: too many decapsulation retries")
+	return nil, errTooManyRetries
 }
 
 // legacyParamTag returns the v1 wire tag of a parameter set (1 for P1, 2

@@ -67,6 +67,7 @@ import (
 	"io"
 
 	"ringlwe"
+	"ringlwe/internal/obs"
 )
 
 // Protocol constants.
@@ -118,6 +119,7 @@ type options struct {
 	rekeyAfter uint64
 	schemeOpts []ringlwe.Option
 	wantTicket bool
+	tracer     obs.Tracer
 }
 
 func applyOptions(opts []Option) options {
@@ -143,6 +145,14 @@ func WithRekeyAfter(n uint64) Option {
 // Scheme.
 func WithSchemeOptions(opts ...ringlwe.Option) Option {
 	return func(o *options) { o.schemeOpts = opts }
+}
+
+// WithHandshakeTracer installs a client-side trace hook: the handshake
+// and the channel's record/rekey paths emit one obs.Span per completed
+// phase to t, all carrying the same process-unique connection id. The
+// server-side equivalent is the WithTracer server option.
+func WithHandshakeTracer(t obs.Tracer) Option {
+	return func(o *options) { o.tracer = t }
 }
 
 // WithSessionTicket makes a v2 client request a session-resumption ticket
@@ -180,6 +190,15 @@ type Channel struct {
 
 	// onRekey notifies the serving layer (per-params counters).
 	onRekey func()
+
+	// Observability wiring. m and shard point a server-side channel at
+	// its tenant's record-layer counters (nil m on client channels and
+	// disables them); ct carries the connection's trace identity (nil
+	// disables spans with one pointer check per record).
+	path  hsPath
+	m     *tenantMetrics
+	shard int
+	ct    *connTrace
 
 	// resumed marks a channel established from a session ticket (no KEM
 	// flight); session holds the client's resumption state for the next
@@ -322,8 +341,23 @@ func (c *Channel) mac(key [32]byte, seq uint64, typ byte, length uint32, ct []by
 	return m.Sum(nil)[:tagLen]
 }
 
-// seal encrypts and writes one record of the given type.
+// seal encrypts and writes one record of the given type, with the
+// record-layer accounting around sealRecord: server channels count
+// records and payload bytes (two uncontended atomic adds), and a traced
+// channel emits a PhaseRecordEncrypt span. Untraced client channels pay
+// two nil checks.
 func (c *Channel) seal(typ byte, msg []byte) error {
+	t0 := c.ct.start()
+	err := c.sealRecord(typ, msg)
+	if c.m != nil && err == nil {
+		c.m.recordsSent.Inc(c.shard)
+		c.m.bytesSent.Add(c.shard, uint64(len(msg)))
+	}
+	c.ct.span(obs.PhaseRecordEncrypt, t0, err)
+	return err
+}
+
+func (c *Channel) sealRecord(typ byte, msg []byte) error {
 	if len(msg) > maxRecordLen {
 		return fmt.Errorf("protocol: record too large (%d bytes)", len(msg))
 	}
@@ -348,8 +382,21 @@ func (c *Channel) seal(typ byte, msg []byte) error {
 }
 
 // open reads and authenticates one record, returning its type (recordData
-// on v1 channels, which carry no type byte).
+// on v1 channels, which carry no type byte). Mirrors seal's accounting:
+// records/bytes opened on server channels, a PhaseRecordDecrypt span
+// when traced.
 func (c *Channel) open() (byte, []byte, error) {
+	t0 := c.ct.start()
+	typ, msg, err := c.openRecord()
+	if c.m != nil && err == nil {
+		c.m.recordsRecv.Inc(c.shard)
+		c.m.bytesRecv.Add(c.shard, uint64(len(msg)))
+	}
+	c.ct.span(obs.PhaseRecordDecrypt, t0, err)
+	return typ, msg, err
+}
+
+func (c *Channel) openRecord() (byte, []byte, error) {
 	var hdr [5]byte
 	n := 0
 	typ := byte(recordData)
@@ -441,6 +488,13 @@ func (c *Channel) needRekey() bool {
 // acknowledges — an intrinsic LPR decryption failure comes back as a nack
 // and the client simply encapsulates again.
 func (c *Channel) rekey() error {
+	t0 := c.ct.start()
+	err := c.rekeyFlight()
+	c.ct.span(obs.PhaseRekey, t0, err)
+	return err
+}
+
+func (c *Channel) rekeyFlight() error {
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		ws := c.scheme.AcquireWorkspace()
 		blob, key, err := ws.Encapsulate(c.peerPK)
@@ -484,6 +538,13 @@ func (c *Channel) rekey() error {
 // current keys, then switch. The blob length is validated against the
 // negotiated parameter set before any KEM work.
 func (c *Channel) acceptRekey(blob []byte) error {
+	t0 := c.ct.start()
+	err := c.acceptRekeyFlight(blob)
+	c.ct.span(obs.PhaseRekey, t0, err)
+	return err
+}
+
+func (c *Channel) acceptRekeyFlight(blob []byte) error {
 	if want := c.scheme.Params().EncapsulationSize(); len(blob) != want {
 		return fmt.Errorf("protocol: rekey blob is %d bytes, want %d: %w",
 			len(blob), want, ringlwe.ErrParamsMismatch)

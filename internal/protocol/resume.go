@@ -147,6 +147,7 @@ func ClientResume(rw io.ReadWriter, ses *Session, opts ...Option) (*Channel, err
 	}
 	o := applyOptions(opts)
 	o.wantTicket = true
+	ct := newConnTrace(o.tracer)
 	id := ses.scheme.Params().WireID()
 
 	var hello [helloV2Len]byte
@@ -192,6 +193,7 @@ func ClientResume(rw io.ReadWriter, ses *Session, opts ...Option) (*Channel, err
 			peerPK:     ses.pk,
 			rekeyAfter: o.rekeyAfter,
 			resumed:    true,
+			ct:         ct,
 		}
 		if tkt != nil {
 			ch.session = &Session{
@@ -218,7 +220,7 @@ func ClientResume(rw io.ReadWriter, ses *Session, opts ...Option) (*Channel, err
 			return nil, fmt.Errorf("protocol: fallback server key is %s (wire ID %d), session is ID %d: %w",
 				pk.Params().Name(), pk.Params().WireID(), id, ringlwe.ErrParamsMismatch)
 		}
-		return clientKEMFlight(rw, ses.scheme, pk, o)
+		return clientKEMFlight(rw, ct, ses.scheme, pk, o)
 
 	case statusReject:
 		return nil, fmt.Errorf("protocol: server does not serve parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)

@@ -7,14 +7,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ringlwe"
+	"ringlwe/internal/obs"
 	"ringlwe/internal/rng"
 	"ringlwe/internal/ticket"
 )
@@ -22,41 +25,188 @@ import (
 // ErrServerClosed is returned by the serve loops after Shutdown or Close.
 var ErrServerClosed = errors.New("protocol: server closed")
 
-// tenantCounters is one shard's slice of a tenant's statistics. Each
-// shard writes only its own slot and Stats sums the slots with atomic
-// loads, so the hot path never shares a cache line across shards and the
-// snapshot needs no lock. The padding keeps adjacent slots on separate
-// cache-line pairs.
-type tenantCounters struct {
-	handshakes      atomic.Uint64 // full handshakes completed
-	resumed         atomic.Uint64 // ticket resumptions completed
-	failures        atomic.Uint64
-	retries         atomic.Uint64
-	rekeys          atomic.Uint64
-	ticketsIssued   atomic.Uint64
-	ticketFallbacks atomic.Uint64
-	active          atomic.Int64
-	_               [64]byte
+// errTooManyRetries ends a KEM flight whose intrinsic decryption
+// failures exhausted the retry budget; the metrics layer classifies it
+// as a "kem" failure.
+var errTooManyRetries = errors.New("protocol: too many decapsulation retries")
+
+// errBadHello marks first flights that never were a handshake (wrong
+// magic, impossible version); the metrics layer classifies them as
+// "hello" failures.
+var errBadHello = errors.New("protocol: malformed hello")
+
+// hsPath names how a channel was established; it indexes the per-path
+// handshake counters and latency histograms.
+type hsPath uint8
+
+const (
+	pathFull     hsPath = iota // full KEM flight
+	pathResumed                // ticket resumption, no KEM work
+	pathFallback               // refused resumption downgraded to a full flight
+	numPaths
+)
+
+func (p hsPath) String() string {
+	switch p {
+	case pathFull:
+		return "full"
+	case pathResumed:
+		return "resumed"
+	default:
+		return "fallback"
+	}
+}
+
+// Handshake-failure reason labels. reasons in tenantMetrics holds one
+// counter per value.
+const (
+	reasonTimeout = "timeout" // handshake deadline hit (slow or stalled peer)
+	reasonHello   = "hello"   // malformed first flight
+	reasonParams  = "params"  // parameter-set negotiation mismatch
+	reasonKEM     = "kem"     // decapsulation errors exhausted the retry budget
+	reasonIO      = "io"      // everything else: resets, short reads, write errors
+)
+
+var handshakeFailureReasons = []string{reasonTimeout, reasonHello, reasonParams, reasonKEM, reasonIO}
+
+// failureReason classifies a handshake error into its counter label.
+func failureReason(err error) string {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		return reasonTimeout
+	case errors.Is(err, errBadHello):
+		return reasonHello
+	case errors.Is(err, ringlwe.ErrParamsMismatch):
+		return reasonParams
+	case errors.Is(err, errTooManyRetries), errors.Is(err, ringlwe.ErrDecapsulation):
+		return reasonKEM
+	default:
+		return reasonIO
+	}
+}
+
+// tenantMetrics is one tenant's registry-backed instrumentation. Every
+// metric is sharded (one padded slot per serving shard), so the hot
+// paths write without cross-shard contention and Stats/scrapes merge on
+// read. Stats() is a thin view over these.
+type tenantMetrics struct {
+	paths   [numPaths]*obs.Counter   // completed handshakes by path
+	hsDur   [numPaths]*obs.Histogram // handshake wall time by path, µs
+	reasons map[string]*obs.Counter  // failed handshakes by reason
+
+	retries         *obs.Counter
+	rekeys          *obs.Counter
+	ticketsIssued   *obs.Counter
+	ticketFallbacks *obs.Counter
+	active          *obs.Gauge
+
+	recordsSent *obs.Counter // records sealed server→client
+	recordsRecv *obs.Counter // records opened client→server
+	bytesSent   *obs.Counter
+	bytesRecv   *obs.Counter
+}
+
+func newTenantMetrics(reg *obs.Registry, params string, shards int) *tenantMetrics {
+	pl := obs.Labels{"params": params}
+	m := &tenantMetrics{
+		reasons:         make(map[string]*obs.Counter, len(handshakeFailureReasons)),
+		retries:         reg.Counter("rlwe_kem_retries_total", "KEM decapsulation retries after intrinsic LPR decryption failures", pl, shards),
+		rekeys:          reg.Counter("rlwe_rekeys_total", "completed in-band epoch rolls", pl, shards),
+		ticketsIssued:   reg.Counter("rlwe_tickets_issued_total", "session-resumption tickets minted", pl, shards),
+		ticketFallbacks: reg.Counter("rlwe_ticket_fallbacks_total", "resumption attempts downgraded to full handshakes", pl, shards),
+		active:          reg.Gauge("rlwe_active_channels", "currently established channels", pl, shards),
+	}
+	for p := pathFull; p < numPaths; p++ {
+		lab := obs.Labels{"params": params, "path": p.String()}
+		m.paths[p] = reg.Counter("rlwe_handshakes_total", "completed handshakes by path", lab, shards)
+		m.hsDur[p] = reg.Histogram("rlwe_handshake_duration_us", "handshake wall time by path, microseconds", lab, shards)
+	}
+	for _, r := range handshakeFailureReasons {
+		m.reasons[r] = reg.Counter("rlwe_handshake_failures_total", "failed handshakes by reason, after tenant resolution",
+			obs.Labels{"params": params, "reason": r}, shards)
+	}
+	for _, d := range [...]struct {
+		dir          string
+		recs, nbytes **obs.Counter
+	}{{"sent", &m.recordsSent, &m.bytesSent}, {"recv", &m.recordsRecv, &m.bytesRecv}} {
+		lab := obs.Labels{"params": params, "dir": d.dir}
+		*d.recs = reg.Counter("rlwe_records_total", "records sealed/opened on server channels", lab, shards)
+		*d.nbytes = reg.Counter("rlwe_record_bytes_total", "record payload bytes sealed/opened on server channels", lab, shards)
+	}
+	return m
+}
+
+// serverMetrics is the tenant-independent instrumentation: hellos that
+// died before a tenant was resolved, accept-loop health and the shard
+// batcher's queue behavior.
+type serverMetrics struct {
+	rejected      *obs.Counter   // hellos rejected before tenant resolution
+	acceptRetries *obs.Counter   // accept-loop temporary-error backoff retries
+	timeouts      *obs.Counter   // handshakes that hit the handshake deadline (all tenants + pre-tenant)
+	queueDepth    *obs.Gauge     // pending first-flight decapsulations across shard batchers
+	batchSize     *obs.Histogram // decapsulation burst size per batcher run
+}
+
+func newServerMetrics(reg *obs.Registry, shards int) serverMetrics {
+	return serverMetrics{
+		rejected:      reg.Counter("rlwe_rejected_hellos_total", "hellos rejected before a tenant was resolved", nil, shards),
+		acceptRetries: reg.Counter("rlwe_accept_retries_total", "accept-loop temporary-error backoff retries", nil, 1),
+		timeouts:      reg.Counter("rlwe_handshake_timeouts_total", "handshakes that hit the handshake deadline", nil, shards),
+		queueDepth:    reg.Gauge("rlwe_decap_queue_depth", "first-flight decapsulations queued on shard batchers", nil, shards),
+		batchSize:     reg.Histogram("rlwe_decap_batch_size", "decapsulation burst sizes per batcher run", nil, shards),
+	}
 }
 
 // tenant is one served parameter set: a shared Scheme, a long-term key
-// pair, and one counter slot per shard.
+// pair, and its slice of the metrics registry.
 type tenant struct {
 	id     uint16
 	scheme *ringlwe.Scheme
 	pk     *ringlwe.PublicKey
 	sk     *ringlwe.PrivateKey
 
-	perShard []tenantCounters
+	m *tenantMetrics
 }
 
-// counters returns the tenant's slot for a shard (slot 0 for direct
+// shardIndex maps a serving shard to its metric slot (slot 0 for direct
 // Handshake calls outside the serving loops).
-func (t *tenant) counters(sh *shard) *tenantCounters {
+func shardIndex(sh *shard) int {
 	if sh == nil {
-		return &t.perShard[0]
+		return 0
 	}
-	return &t.perShard[sh.id]
+	return sh.id
+}
+
+// connTrace carries one connection's tracing identity through the
+// handshake and record paths. A nil *connTrace is the common case and
+// disables every span with one pointer check.
+type connTrace struct {
+	tr obs.Tracer
+	id uint64
+}
+
+func newConnTrace(tr obs.Tracer) *connTrace {
+	if tr == nil {
+		return nil
+	}
+	return &connTrace{tr: tr, id: obs.NextConnID()}
+}
+
+// start returns the span clock's origin, or the zero time untraced.
+func (ct *connTrace) start() time.Time {
+	if ct == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// span emits one completed phase.
+func (ct *connTrace) span(p obs.Phase, start time.Time, err error) {
+	if ct == nil {
+		return
+	}
+	ct.tr.OnSpan(obs.Span{Conn: ct.id, Phase: p, Dur: time.Since(start), Err: err})
 }
 
 // Server is a multi-tenant sharded secure-channel endpoint: it holds one
@@ -66,18 +216,26 @@ func (t *tenant) counters(sh *shard) *tenantCounters {
 // accept loops; otherwise one accept loop round-robining into N
 // dispatchers — each owning a private workspace, a decapsulation batcher
 // that fans accept bursts through DecapsulateBatch, and its own slice of
-// every tenant's counters, merged lock-free into Stats.
+// every metric's per-shard slots, merged lock-free by Stats and scrapes.
 //
 // Completed v2 handshakes can mint encrypted session-resumption tickets
 // (AES-GCM under a rotating server key, see internal/ticket); a
 // reconnecting client that presents one skips the KEM flight entirely,
 // with a sharded anti-replay cache keeping tickets single-use.
 //
+// Observability: Metrics exposes the registry (counters, gauges and
+// latency histograms for every serving path), DebugHandler an admin
+// http.Handler (Prometheus /metrics, expvar-style /debug/vars,
+// net/http/pprof), WithLogger structured logging and WithTracer
+// per-connection handshake spans.
+//
 // Populate it with AddParams/AddTenant before serving. All methods are
 // safe for concurrent use.
 type Server struct {
 	handler func(*Channel)
 	logf    func(format string, args ...any)
+	logger  *slog.Logger
+	tracer  obs.Tracer
 
 	numShards      int
 	hsTimeout      time.Duration
@@ -87,6 +245,9 @@ type Server struct {
 	keeper *ticket.Keeper
 	replay *ticket.ReplayCache
 	rand   io.Reader
+
+	reg *obs.Registry
+	sm  serverMetrics
 
 	mu        sync.RWMutex
 	tenants   map[uint16]*tenant
@@ -98,12 +259,11 @@ type Server struct {
 	stopOnce  sync.Once
 	nextShard atomic.Uint64
 
-	connMu   sync.Mutex
-	lns      []net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closing  atomic.Bool
-	rejected atomic.Uint64
+	connMu  sync.Mutex
+	lns     []net.Listener
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closing atomic.Bool
 }
 
 // ServerOption configures a Server at construction.
@@ -119,13 +279,30 @@ func WithHandler(h func(*Channel)) ServerOption {
 
 // WithLogf directs per-connection error reports (failed handshakes,
 // rejected hellos, accept retries) to a printf-style sink. Silent by
-// default.
+// default; superseded by WithLogger when both are set.
 func WithLogf(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithLogger directs the server's structured logs to a slog.Logger:
+// accept-loop backoff and handshake failures at Warn (timeouts
+// included, with their reason attribute), ticket fallbacks at Info.
+// Silent by default.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithTracer installs a per-connection trace hook: every served
+// connection gets a process-unique span id and the tracer receives one
+// obs.Span per completed phase (hello, negotiate, KEM flight, ticket
+// open/issue, record encrypt/decrypt, rekey). Nil (the default)
+// disables tracing with no overhead on the serving paths.
+func WithTracer(t obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
 // WithShards sets the number of serving shards (accept lanes, workspace
-// owners, counter slots). Default GOMAXPROCS; values below 1 become 1.
+// owners, metric slots). Default GOMAXPROCS; values below 1 become 1.
 func WithShards(n int) ServerOption {
 	return func(s *Server) {
 		if n < 1 {
@@ -169,6 +346,8 @@ func NewServer(opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.reg = obs.NewRegistry()
+	s.sm = newServerMetrics(s.reg, s.numShards)
 	if s.ticketLifetime > 0 {
 		// One locked CTR DRBG feeds ticket-key rotation and the per-
 		// resumption server randoms from every shard.
@@ -185,6 +364,29 @@ func NewServer(opts ...ServerOption) *Server {
 
 // NumShards reports the server's shard count.
 func (s *Server) NumShards() int { return s.numShards }
+
+// Metrics returns the server's metrics registry — the source Stats,
+// DebugHandler's /metrics and /debug/vars all read from. Callers may
+// register their own metrics into it so one scrape covers the process.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// log emits one structured event: to the slog.Logger when configured,
+// else rendered through the legacy printf sink, else dropped.
+func (s *Server) log(level slog.Level, msg string, args ...any) {
+	if s.logger != nil {
+		s.logger.Log(context.Background(), level, msg, args...)
+		return
+	}
+	if s.logf == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(msg)
+	for i := 0; i+1 < len(args); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", args[i], args[i+1])
+	}
+	s.logf("%s", b.String())
+}
 
 // AddTenant registers a parameter set with an existing scheme and
 // long-term key pair. The set must be wire-registered (P1 and P2 always
@@ -206,11 +408,11 @@ func (s *Server) AddTenant(scheme *ringlwe.Scheme, pk *ringlwe.PublicKey, sk *ri
 		return fmt.Errorf("protocol: parameter set %s (wire ID %d) already served", p.Name(), id)
 	}
 	s.tenants[id] = &tenant{
-		id:       id,
-		scheme:   scheme,
-		pk:       pk,
-		sk:       sk,
-		perShard: make([]tenantCounters, s.numShards),
+		id:     id,
+		scheme: scheme,
+		pk:     pk,
+		sk:     sk,
+		m:      newTenantMetrics(s.reg, p.Name(), s.numShards),
 	}
 	if s.defaultID == 0 {
 		s.defaultID = id
@@ -269,6 +471,7 @@ func (s *Server) decapsulate(sh *shard, t *tenant, blob ringlwe.EncapsulatedKey)
 		return key, err
 	}
 	req := &decapReq{t: t, blob: blob, done: make(chan decapRes, 1)}
+	s.sm.queueDepth.Inc(sh.id)
 	sh.decapQ <- req
 	res := <-req.done
 	return res.key, res.err
@@ -280,16 +483,19 @@ func (s *Server) ticketsEnabled() bool { return s.keeper != nil }
 // issueTicket writes the ticket blob that follows a handshake which
 // requested one: a fresh single-use ticket when issuance is enabled, a
 // zero-length blob otherwise.
-func (s *Server) issueTicket(rw io.Writer, sh *shard, t *tenant, epoch uint32, secret [32]byte) error {
+func (s *Server) issueTicket(rw io.Writer, sh *shard, ct *connTrace, t *tenant, epoch uint32, secret [32]byte) error {
 	if !s.ticketsEnabled() {
 		return writeTicketBlob(rw, time.Time{}, nil)
 	}
+	t0 := ct.start()
 	expiry := time.Now().Add(s.ticketLifetime)
 	tkt := s.keeper.Seal(ticket.State{ParamsID: t.id, Epoch: epoch, Expiry: expiry, Secret: secret})
-	if err := writeTicketBlob(rw, expiry, tkt); err != nil {
+	err := writeTicketBlob(rw, expiry, tkt)
+	ct.span(obs.PhaseTicketIssue, t0, err)
+	if err != nil {
 		return err
 	}
-	t.counters(sh).ticketsIssued.Add(1)
+	t.m.ticketsIssued.Inc(shardIndex(sh))
 	return nil
 }
 
@@ -305,57 +511,81 @@ func (s *Server) Handshake(rw io.ReadWriter) (*Channel, error) {
 }
 
 // handshake implements Handshake, also returning the tenant for the
-// serving layer's counters.
+// serving layer's accounting.
 func (s *Server) handshake(rw io.ReadWriter, sh *shard) (*Channel, *tenant, error) {
+	ct := newConnTrace(s.tracer)
+	t0 := ct.start()
 	var hello [helloV1Len]byte
 	if _, err := io.ReadFull(rw, hello[:]); err != nil {
-		s.rejected.Add(1)
-		return nil, nil, fmt.Errorf("protocol: hello: %w", err)
+		s.sm.rejected.Inc(shardIndex(sh))
+		err = fmt.Errorf("protocol: hello: %w", err)
+		ct.span(obs.PhaseHello, t0, err)
+		return nil, nil, err
 	}
 	if binary.BigEndian.Uint16(hello[:2]) != helloMagic {
-		s.rejected.Add(1)
-		return nil, nil, errors.New("protocol: bad hello magic")
+		s.sm.rejected.Inc(shardIndex(sh))
+		err := fmt.Errorf("%w: bad magic", errBadHello)
+		ct.span(obs.PhaseHello, t0, err)
+		return nil, nil, err
 	}
+	ct.span(obs.PhaseHello, t0, nil)
 	if hello[2] == helloV2Marker {
-		return s.handshakeV2(rw, sh, hello)
+		return s.handshakeV2(rw, sh, ct, hello)
 	}
-	return s.handshakeV1(rw, sh, hello)
+	return s.handshakeV1(rw, sh, ct, hello)
 }
 
 // handshakeV2 answers a negotiated hello: resolve the tenant by the
 // requested parameter-set ID and run either the resumption path (the
 // hello carries a ticket) or the full KEM flight.
-func (s *Server) handshakeV2(rw io.ReadWriter, sh *shard, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+func (s *Server) handshakeV2(rw io.ReadWriter, sh *shard, ct *connTrace, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+	t0 := ct.start()
 	if hello[3] != protocolV2 {
-		s.rejected.Add(1)
-		return nil, nil, fmt.Errorf("protocol: unsupported protocol version %d", hello[3])
+		s.sm.rejected.Inc(shardIndex(sh))
+		err := fmt.Errorf("%w: unsupported protocol version %d", errBadHello, hello[3])
+		ct.span(obs.PhaseNegotiate, t0, err)
+		return nil, nil, err
 	}
 	var rest [helloV2Len - helloV1Len]byte
 	if _, err := io.ReadFull(rw, rest[:]); err != nil {
-		s.rejected.Add(1)
-		return nil, nil, fmt.Errorf("protocol: hello: %w", err)
+		s.sm.rejected.Inc(shardIndex(sh))
+		err = fmt.Errorf("protocol: hello: %w", err)
+		ct.span(obs.PhaseNegotiate, t0, err)
+		return nil, nil, err
 	}
 	id := binary.BigEndian.Uint16(rest[:2])
 	flags := rest[2]
 	if flags&helloFlagResume != 0 {
-		return s.handshakeResume(rw, sh, id)
+		ct.span(obs.PhaseNegotiate, t0, nil)
+		return s.handshakeResume(rw, sh, ct, id)
 	}
 	t := s.tenantByID(id)
 	if t == nil {
-		s.rejected.Add(1)
+		s.sm.rejected.Inc(shardIndex(sh))
 		// Tell the client before closing so it fails with a diagnosis
 		// instead of an EOF.
 		rw.Write([]byte{statusReject})
-		return nil, nil, fmt.Errorf("protocol: no tenant serves parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
+		err := fmt.Errorf("protocol: no tenant serves parameter-set ID %d: %w", id, ringlwe.ErrParamsMismatch)
+		ct.span(obs.PhaseNegotiate, t0, err)
+		return nil, nil, err
 	}
-	return s.serverKEMFlight(rw, sh, t, statusOK, flags&helloFlagTicket != 0)
+	ct.span(obs.PhaseNegotiate, t0, nil)
+	return s.serverKEMFlight(rw, sh, ct, t, statusOK, flags&helloFlagTicket != 0)
 }
 
 // serverKEMFlight runs the responder's full v2 flight against a resolved
-// tenant: first status byte (statusOK, or statusFallback when downgrading
-// a refused resumption), the streamed public key, the decapsulation loop,
-// and — when the client asked for one — the session ticket.
-func (s *Server) serverKEMFlight(rw io.ReadWriter, sh *shard, t *tenant, firstStatus byte, wantTicket bool) (*Channel, *tenant, error) {
+// tenant, wrapped in one KEM-flight span: first status byte (statusOK,
+// or statusFallback when downgrading a refused resumption), the streamed
+// public key, the decapsulation loop, and — when the client asked for
+// one — the session ticket.
+func (s *Server) serverKEMFlight(rw io.ReadWriter, sh *shard, ct *connTrace, t *tenant, firstStatus byte, wantTicket bool) (*Channel, *tenant, error) {
+	t0 := ct.start()
+	ch, tn, err := s.serverKEMFlightInner(rw, sh, ct, t, firstStatus, wantTicket)
+	ct.span(obs.PhaseKEMFlight, t0, err)
+	return ch, tn, err
+}
+
+func (s *Server) serverKEMFlightInner(rw io.ReadWriter, sh *shard, ct *connTrace, t *tenant, firstStatus byte, wantTicket bool) (*Channel, *tenant, error) {
 	params := t.scheme.Params()
 	if _, err := rw.Write([]byte{firstStatus}); err != nil {
 		return nil, t, fmt.Errorf("protocol: sending hello status: %w", err)
@@ -381,7 +611,7 @@ func (s *Server) serverKEMFlight(rw io.ReadWriter, sh *shard, t *tenant, firstSt
 		}
 		key, err := s.decapsulate(sh, t, ek)
 		if errors.Is(err, ringlwe.ErrDecapsulation) {
-			t.counters(sh).retries.Add(1)
+			t.m.retries.Inc(shardIndex(sh))
 			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
 				return nil, t, fmt.Errorf("protocol: sending retry: %w", werr)
 			}
@@ -394,23 +624,37 @@ func (s *Server) serverKEMFlight(rw io.ReadWriter, sh *shard, t *tenant, firstSt
 			return nil, t, fmt.Errorf("protocol: sending ok: %w", err)
 		}
 		if wantTicket {
-			if err := s.issueTicket(rw, sh, t, 0, resumeMasterSecret(params, key)); err != nil {
+			if err := s.issueTicket(rw, sh, ct, t, 0, resumeMasterSecret(params, key)); err != nil {
 				return nil, t, fmt.Errorf("protocol: sending ticket: %w", err)
 			}
 		}
-		counters := t.counters(sh)
-		ch := &Channel{
-			rw:      rw,
-			version: protocolV2,
-			scheme:  t.scheme,
-			localSK: t.sk,
-			onRekey: func() { counters.rekeys.Add(1) },
-			Retries: attempt,
+		path := pathFull
+		if firstStatus == statusFallback {
+			path = pathFallback
 		}
+		ch := s.newServerChannel(rw, sh, ct, t, path)
+		ch.Retries = attempt
 		ch.deriveKeysV2(key, 0, false)
 		return ch, t, nil
 	}
-	return nil, t, errors.New("protocol: too many decapsulation retries")
+	return nil, t, errTooManyRetries
+}
+
+// newServerChannel builds the server side of an established channel,
+// wired to the tenant's record-layer metrics and the connection trace.
+func (s *Server) newServerChannel(rw io.ReadWriter, sh *shard, ct *connTrace, t *tenant, path hsPath) *Channel {
+	m, idx := t.m, shardIndex(sh)
+	return &Channel{
+		rw:      rw,
+		version: protocolV2,
+		scheme:  t.scheme,
+		localSK: t.sk,
+		onRekey: func() { m.rekeys.Inc(idx) },
+		path:    path,
+		m:       m,
+		shard:   idx,
+		ct:      ct,
+	}
 }
 
 // handshakeResume answers a hello that presented a session ticket. A
@@ -419,53 +663,70 @@ func (s *Server) serverKEMFlight(rw io.ReadWriter, sh *shard, t *tenant, firstSt
 // else (garbage, expired, replayed, rotated-away key, tickets disabled,
 // unknown tenant) transparently downgrades to a full handshake on the
 // same connection.
-func (s *Server) handshakeResume(rw io.ReadWriter, sh *shard, helloID uint16) (*Channel, *tenant, error) {
+func (s *Server) handshakeResume(rw io.ReadWriter, sh *shard, ct *connTrace, helloID uint16) (*Channel, *tenant, error) {
 	var hdr [2]byte
 	if _, err := io.ReadFull(rw, hdr[:]); err != nil {
-		s.rejected.Add(1)
+		s.sm.rejected.Inc(shardIndex(sh))
 		return nil, nil, fmt.Errorf("protocol: resume hello: %w", err)
 	}
 	n := int(binary.BigEndian.Uint16(hdr[:]))
 	if n == 0 || n > maxTicketWire {
-		s.rejected.Add(1)
-		return nil, nil, fmt.Errorf("protocol: resume ticket length %d out of range", n)
+		s.sm.rejected.Inc(shardIndex(sh))
+		return nil, nil, fmt.Errorf("%w: resume ticket length %d out of range", errBadHello, n)
 	}
 	ext := make([]byte, n+randomLen)
 	if _, err := io.ReadFull(rw, ext); err != nil {
-		s.rejected.Add(1)
+		s.sm.rejected.Inc(shardIndex(sh))
 		return nil, nil, fmt.Errorf("protocol: resume hello: %w", err)
 	}
 	tkt := ext[:n]
 	var clientRand [randomLen]byte
 	copy(clientRand[:], ext[n:])
 
+	// Open the ticket and decide the path; every refusal downgrades to
+	// a full handshake with its reason logged and traced.
+	fallbackReason := "disabled"
 	if s.ticketsEnabled() {
+		t0 := ct.start()
 		st, replayID, err := s.keeper.Open(tkt)
-		if err == nil && (helloID == 0 || helloID == st.ParamsID) {
-			if t := s.tenantByID(st.ParamsID); t != nil && t.id == st.ParamsID {
-				if !s.replay.Seen(replayID, st.Expiry) {
-					return s.resumeChannel(rw, sh, t, st, clientRand)
-				}
+		switch {
+		case err != nil:
+			fallbackReason = "invalid"
+		case helloID != 0 && helloID != st.ParamsID:
+			fallbackReason = "params"
+		default:
+			t := s.tenantByID(st.ParamsID)
+			switch {
+			case t == nil || t.id != st.ParamsID:
+				fallbackReason = "unknown-params"
+			case s.replay.Seen(replayID, st.Expiry):
+				fallbackReason = "replayed"
+			default:
+				ct.span(obs.PhaseTicketOpen, t0, nil)
+				return s.resumeChannel(rw, sh, ct, t, st, clientRand)
 			}
 		}
+		ct.span(obs.PhaseTicketOpen, t0, fmt.Errorf("protocol: ticket refused: %s", fallbackReason))
 	}
 
 	// Fall back to a full handshake for the set the hello named. The
 	// client clearly wants tickets, so the downgrade reissues one.
 	t := s.tenantByID(helloID)
 	if t == nil {
-		s.rejected.Add(1)
+		s.sm.rejected.Inc(shardIndex(sh))
 		rw.Write([]byte{statusReject})
 		return nil, nil, fmt.Errorf("protocol: no tenant serves parameter-set ID %d: %w", helloID, ringlwe.ErrParamsMismatch)
 	}
-	t.counters(sh).ticketFallbacks.Add(1)
-	return s.serverKEMFlight(rw, sh, t, statusFallback, true)
+	t.m.ticketFallbacks.Inc(shardIndex(sh))
+	s.log(slog.LevelInfo, "ticket fallback",
+		"params", t.scheme.Params().Name(), "reason", fallbackReason)
+	return s.serverKEMFlight(rw, sh, ct, t, statusFallback, true)
 }
 
 // resumeChannel completes an accepted resumption: fresh server random,
 // reissued single-use ticket, and a key schedule derived from the
 // ticket's master secret plus both randoms.
-func (s *Server) resumeChannel(rw io.ReadWriter, sh *shard, t *tenant, st ticket.State, clientRand [randomLen]byte) (*Channel, *tenant, error) {
+func (s *Server) resumeChannel(rw io.ReadWriter, sh *shard, ct *connTrace, t *tenant, st ticket.State, clientRand [randomLen]byte) (*Channel, *tenant, error) {
 	var serverRand [randomLen]byte
 	if _, err := io.ReadFull(s.rand, serverRand[:]); err != nil {
 		return nil, t, fmt.Errorf("protocol: server random: %w", err)
@@ -476,18 +737,11 @@ func (s *Server) resumeChannel(rw io.ReadWriter, sh *shard, t *tenant, st ticket
 	if _, err := rw.Write(resp); err != nil {
 		return nil, t, fmt.Errorf("protocol: sending resume status: %w", err)
 	}
-	if err := s.issueTicket(rw, sh, t, st.Epoch, st.Secret); err != nil {
+	if err := s.issueTicket(rw, sh, ct, t, st.Epoch, st.Secret); err != nil {
 		return nil, t, fmt.Errorf("protocol: reissuing ticket: %w", err)
 	}
-	counters := t.counters(sh)
-	ch := &Channel{
-		rw:      rw,
-		version: protocolV2,
-		scheme:  t.scheme,
-		localSK: t.sk,
-		onRekey: func() { counters.rekeys.Add(1) },
-		resumed: true,
-	}
+	ch := s.newServerChannel(rw, sh, ct, t, pathResumed)
+	ch.resumed = true
 	shared := resumedShared(t.scheme.Params().Name(), st.Epoch, st.Secret, clientRand, serverRand)
 	ch.deriveKeysV2(shared, 0, false)
 	return ch, t, nil
@@ -495,16 +749,23 @@ func (s *Server) resumeChannel(rw io.ReadWriter, sh *shard, t *tenant, st ticket
 
 // handshakeV1 answers a legacy tagged hello exactly as the original
 // single-tenant server did, dispatching on the one-byte tag.
-func (s *Server) handshakeV1(rw io.ReadWriter, sh *shard, hello [helloV1Len]byte) (*Channel, *tenant, error) {
+func (s *Server) handshakeV1(rw io.ReadWriter, sh *shard, ct *connTrace, hello [helloV1Len]byte) (*Channel, *tenant, error) {
 	if hello[3] != 0 {
-		s.rejected.Add(1)
-		return nil, nil, errors.New("protocol: malformed v1 hello")
+		s.sm.rejected.Inc(shardIndex(sh))
+		return nil, nil, fmt.Errorf("%w: malformed v1 hello", errBadHello)
 	}
 	t := s.tenantByLegacyTag(hello[2])
 	if t == nil {
-		s.rejected.Add(1)
+		s.sm.rejected.Inc(shardIndex(sh))
 		return nil, nil, fmt.Errorf("protocol: no tenant serves v1 parameter tag %d: %w", hello[2], ringlwe.ErrParamsMismatch)
 	}
+	t0 := ct.start()
+	ch, tn, err := s.v1KEMFlight(rw, sh, ct, t)
+	ct.span(obs.PhaseKEMFlight, t0, err)
+	return ch, tn, err
+}
+
+func (s *Server) v1KEMFlight(rw io.ReadWriter, sh *shard, ct *connTrace, t *tenant) (*Channel, *tenant, error) {
 	params := t.scheme.Params()
 	if _, err := rw.Write(t.pk.Bytes()); err != nil {
 		return nil, t, fmt.Errorf("protocol: sending public key: %w", err)
@@ -519,7 +780,7 @@ func (s *Server) handshakeV1(rw io.ReadWriter, sh *shard, hello [helloV1Len]byte
 		}
 		key, err := s.decapsulate(sh, t, ringlwe.EncapsulatedKey(blob))
 		if errors.Is(err, ringlwe.ErrDecapsulation) {
-			t.counters(sh).retries.Add(1)
+			t.m.retries.Inc(shardIndex(sh))
 			if _, werr := rw.Write([]byte{statusRetry}); werr != nil {
 				return nil, t, fmt.Errorf("protocol: sending retry: %w", werr)
 			}
@@ -531,17 +792,14 @@ func (s *Server) handshakeV1(rw io.ReadWriter, sh *shard, hello [helloV1Len]byte
 		if _, err := rw.Write([]byte{statusOK}); err != nil {
 			return nil, t, fmt.Errorf("protocol: sending ok: %w", err)
 		}
-		ch := &Channel{
-			rw:      rw,
-			version: protocolV1,
-			scheme:  t.scheme,
-			localSK: t.sk,
-			Retries: attempt,
-		}
+		ch := s.newServerChannel(rw, sh, ct, t, pathFull)
+		ch.version = protocolV1
+		ch.onRekey = nil // v1 channels cannot rekey
+		ch.Retries = attempt
 		ch.deriveKeys(key, false)
 		return ch, t, nil
 	}
-	return nil, t, errors.New("protocol: too many decapsulation retries")
+	return nil, t, errTooManyRetries
 }
 
 // startLoops launches the per-shard dispatcher and decapsulation-batcher
@@ -563,6 +821,7 @@ func (s *Server) stopLoops() {
 // acceptLoop accepts until the listener dies or the server closes,
 // retrying temporary failures (EMFILE, ECONNABORTED bursts, …) with a
 // capped exponential backoff instead of tearing the serving loop down.
+// Every retry is counted and logged.
 func (s *Server) acceptLoop(ln net.Listener, dispatch func(net.Conn)) error {
 	var backoff time.Duration
 	for {
@@ -578,9 +837,9 @@ func (s *Server) acceptLoop(ln net.Listener, dispatch func(net.Conn)) error {
 				} else if backoff *= 2; backoff > time.Second {
 					backoff = time.Second
 				}
-				if s.logf != nil {
-					s.logf("accept: temporary error (retrying in %v): %v", backoff, err)
-				}
+				s.sm.acceptRetries.Inc(0)
+				s.log(slog.LevelWarn, "accept: temporary error",
+					"backoff", backoff, "err", err)
 				time.Sleep(backoff)
 				continue
 			}
@@ -671,7 +930,8 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // serveConn runs one connection on its shard: handshake under the
-// handshake deadline, per-params accounting, then the handler.
+// handshake deadline, per-path latency and counter accounting, then the
+// handler.
 func (s *Server) serveConn(conn net.Conn, sh *shard) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -681,30 +941,50 @@ func (s *Server) serveConn(conn net.Conn, sh *shard) {
 	if s.hsTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(s.hsTimeout))
 	}
+	start := time.Now()
 	ch, t, err := s.handshake(conn, sh)
 	if err != nil {
-		if t != nil {
-			t.counters(sh).failures.Add(1)
-		}
-		if s.logf != nil {
-			s.logf("handshake with %s failed: %v", conn.RemoteAddr(), err)
-		}
+		s.recordHandshakeFailure(conn, sh, t, err)
 		return
 	}
 	if s.hsTimeout > 0 {
 		conn.SetDeadline(time.Time{})
 	}
-	counters := t.counters(sh)
-	if ch.resumed {
-		counters.resumed.Add(1)
-	} else {
-		counters.handshakes.Add(1)
-	}
-	counters.active.Add(1)
-	defer counters.active.Add(-1)
+	idx := shardIndex(sh)
+	m := t.m
+	m.paths[ch.path].Inc(idx)
+	m.hsDur[ch.path].ObserveDuration(idx, time.Since(start))
+	m.active.Inc(idx)
+	defer m.active.Dec(idx)
 	if s.handler != nil {
 		s.handler(ch)
 	}
+}
+
+// recordHandshakeFailure classifies and counts one failed handshake
+// (per-reason tenant counters when one was resolved, the shared timeout
+// counter always) and logs it.
+func (s *Server) recordHandshakeFailure(conn net.Conn, sh *shard, t *tenant, err error) {
+	idx := shardIndex(sh)
+	reason := failureReason(err)
+	if reason == reasonTimeout {
+		s.sm.timeouts.Inc(idx)
+	}
+	params := "unresolved"
+	if t != nil {
+		t.m.reasons[reason].Inc(idx)
+		params = t.scheme.Params().Name()
+	}
+	s.log(slog.LevelWarn, "handshake failed",
+		"remote", remoteAddr(conn), "params", params, "reason", reason, "err", err)
+}
+
+// remoteAddr renders a connection's peer address for log attributes.
+func remoteAddr(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return "unknown"
 }
 
 func (s *Server) trackConn(conn net.Conn, add bool) {
@@ -768,27 +1048,34 @@ func (s *Server) Close() error {
 }
 
 // Counters is one tenant's monotonic totals (and current active-channel
-// gauge) since the server started, merged across shards.
+// gauge) since the server started, merged across shards — a thin view
+// over the metrics registry, preserving the pre-registry JSON shape and
+// adding the timeout and per-reason failure breakdowns.
 type Counters struct {
-	Handshakes      uint64 `json:"handshakes"`
-	Resumed         uint64 `json:"resumed"`
-	Failures        uint64 `json:"handshake_failures"`
-	Retries         uint64 `json:"kem_retries"`
-	Rekeys          uint64 `json:"rekeys"`
-	TicketsIssued   uint64 `json:"tickets_issued"`
-	TicketFallbacks uint64 `json:"ticket_fallbacks"`
-	ActiveChannels  int64  `json:"active_channels"`
+	Handshakes      uint64            `json:"handshakes"`
+	Resumed         uint64            `json:"resumed"`
+	Failures        uint64            `json:"handshake_failures"`
+	Timeouts        uint64            `json:"handshake_timeouts"`
+	FailureReasons  map[string]uint64 `json:"failure_reasons,omitempty"`
+	Retries         uint64            `json:"kem_retries"`
+	Rekeys          uint64            `json:"rekeys"`
+	TicketsIssued   uint64            `json:"tickets_issued"`
+	TicketFallbacks uint64            `json:"ticket_fallbacks"`
+	ActiveChannels  int64             `json:"active_channels"`
 }
 
 // Stats is an expvar-style snapshot of the server: per-parameter-set
 // counters keyed by set name, plus hellos rejected before a tenant was
-// resolved. Its String method renders JSON, so it satisfies expvar.Var:
+// resolved, accept-loop retries and handshake-deadline hits. Its String
+// method renders JSON, so it satisfies expvar.Var:
 //
 //	expvar.Publish("rlwe_server", expvar.Func(func() any { return srv.Stats() }))
 type Stats struct {
-	Rejected  uint64              `json:"rejected_hellos"`
-	Shards    int                 `json:"shards"`
-	PerParams map[string]Counters `json:"per_params"`
+	Rejected      uint64              `json:"rejected_hellos"`
+	AcceptRetries uint64              `json:"accept_retries"`
+	Timeouts      uint64              `json:"handshake_timeouts"`
+	Shards        int                 `json:"shards"`
+	PerParams     map[string]Counters `json:"per_params"`
 }
 
 // String renders the snapshot as JSON (the expvar.Var contract).
@@ -801,28 +1088,43 @@ func (st Stats) String() string {
 }
 
 // Stats returns a consistent point-in-time snapshot of the per-params
-// counters, summing the per-shard slots with atomic loads — no lock on
-// any serving path. Safe to call concurrently with serving.
+// counters as a view over the metrics registry, merging each metric's
+// per-shard slots with atomic loads — no lock on any serving path. Safe
+// to call concurrently with serving.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Rejected:  s.rejected.Load(),
-		Shards:    s.numShards,
-		PerParams: make(map[string]Counters, len(s.tenants)),
+		Rejected:      s.sm.rejected.Value(),
+		AcceptRetries: s.sm.acceptRetries.Value(),
+		Timeouts:      s.sm.timeouts.Value(),
+		Shards:        s.numShards,
+		PerParams:     make(map[string]Counters, len(s.tenants)),
 	}
 	for _, t := range s.tenants {
-		var c Counters
-		for i := range t.perShard {
-			sc := &t.perShard[i]
-			c.Handshakes += sc.handshakes.Load()
-			c.Resumed += sc.resumed.Load()
-			c.Failures += sc.failures.Load()
-			c.Retries += sc.retries.Load()
-			c.Rekeys += sc.rekeys.Load()
-			c.TicketsIssued += sc.ticketsIssued.Load()
-			c.TicketFallbacks += sc.ticketFallbacks.Load()
-			c.ActiveChannels += sc.active.Load()
+		m := t.m
+		c := Counters{
+			Handshakes:      m.paths[pathFull].Value() + m.paths[pathFallback].Value(),
+			Resumed:         m.paths[pathResumed].Value(),
+			Retries:         m.retries.Value(),
+			Rekeys:          m.rekeys.Value(),
+			TicketsIssued:   m.ticketsIssued.Value(),
+			TicketFallbacks: m.ticketFallbacks.Value(),
+			ActiveChannels:  m.active.Value(),
+		}
+		for reason, ctr := range m.reasons {
+			v := ctr.Value()
+			if v == 0 {
+				continue
+			}
+			c.Failures += v
+			if reason == reasonTimeout {
+				c.Timeouts = v
+			}
+			if c.FailureReasons == nil {
+				c.FailureReasons = make(map[string]uint64)
+			}
+			c.FailureReasons[reason] = v
 		}
 		st.PerParams[t.scheme.Params().Name()] = c
 	}

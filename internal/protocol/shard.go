@@ -30,9 +30,9 @@ type decapRes struct {
 
 // shard is one serving lane: an accept feed, a decapsulation batcher and
 // a private per-tenant workspace — no state shared with other shards, so
-// the handshake hot path never contends across lanes. Per-shard counters
-// live on the tenant (tenant.perShard[id]) so Stats can merge them
-// lock-free.
+// the handshake hot path never contends across lanes. Metrics are
+// sharded too (every obs metric has one padded slot per shard, indexed
+// by sh.id) so Stats and scrapes merge them lock-free.
 type shard struct {
 	id  int
 	srv *Server
@@ -94,6 +94,8 @@ func (sh *shard) batchDecaps(stop <-chan struct{}) {
 					break drain
 				}
 			}
+			sh.srv.sm.queueDepth.Add(sh.id, -int64(len(reqs)))
+			sh.srv.sm.batchSize.Observe(sh.id, uint64(len(reqs)))
 			sh.runDecaps(reqs)
 		case <-stop:
 			return
