@@ -11,12 +11,15 @@ package ringlwe
 //     failure rate into a detectable, retryable error.
 //   - AuthKEM: the CCA-secure Fujisaki-Okamoto surface with implicit
 //     rejection.
-//   - BatchEncrypter / BatchDecrypter / BatchKEM: the concurrency-safe
-//     fan-out layer over the bounded worker pool.
+//   - Evaluator (eval.go): additively homomorphic ciphertext evaluation
+//     under the noise budget, plus multi-ciphertext aggregation.
+//   - BatchEncrypter / BatchDecrypter / BatchKEM / BatchAggregator: the
+//     concurrency-safe fan-out layer over the bounded worker pool.
 //
 // *Scheme implements every interface; *Workspace implements the
-// per-goroutine subset (Encrypter, Decrypter, KEM). The assertions at the
-// bottom of this file pin those relationships at compile time.
+// per-goroutine subset (Encrypter, Decrypter, KEM, Evaluator). The
+// assertions at the bottom of this file pin those relationships at compile
+// time.
 
 // Encrypter seals fixed-size messages to a public key. Messages are
 // exactly Params.MessageSize bytes (one bit per ring coefficient).
@@ -71,15 +74,18 @@ type BatchKEM interface {
 // Compile-time capability assertions: every interface above is implemented
 // by the types the documentation promises.
 var (
-	_ Encrypter      = (*Scheme)(nil)
-	_ Decrypter      = (*Scheme)(nil)
-	_ KEM            = (*Scheme)(nil)
-	_ AuthKEM        = (*Scheme)(nil)
-	_ BatchEncrypter = (*Scheme)(nil)
-	_ BatchDecrypter = (*Scheme)(nil)
-	_ BatchKEM       = (*Scheme)(nil)
+	_ Encrypter       = (*Scheme)(nil)
+	_ Decrypter       = (*Scheme)(nil)
+	_ KEM             = (*Scheme)(nil)
+	_ AuthKEM         = (*Scheme)(nil)
+	_ Evaluator       = (*Scheme)(nil)
+	_ BatchEncrypter  = (*Scheme)(nil)
+	_ BatchDecrypter  = (*Scheme)(nil)
+	_ BatchKEM        = (*Scheme)(nil)
+	_ BatchAggregator = (*Scheme)(nil)
 
 	_ Encrypter = (*Workspace)(nil)
 	_ Decrypter = (*Workspace)(nil)
 	_ KEM       = (*Workspace)(nil)
+	_ Evaluator = (*Workspace)(nil)
 )

@@ -1,0 +1,137 @@
+// Command rlwe-aggd runs the encrypted-aggregation service: a sharded
+// secure-channel server whose per-connection handler is the aggregation
+// engine. Devices establish v2 channels, create streams, and submit
+// ciphertexts encrypted under a stream owner's public key; the server
+// folds every submission into the stream's accumulator in the NTT domain
+// — it never holds a key that could decrypt the data — and answers owner
+// queries with the running aggregate.
+//
+//	rlwe-aggd -addr 127.0.0.1:7700 -params A1
+//	rlwe-aggd -addr 127.0.0.1:7700 -params A1,P1 -shards 8 \
+//	          -debug-addr 127.0.0.1:7701 -log
+//
+// -params defaults to A1, the aggregation-tuned parameter set (26-addend
+// noise budget); P1/P2 serve too but cap streams at 2 addends. The
+// channel tenants' KEM key pairs are generated at startup and protect
+// transport only; the data keys live with the stream owners.
+//
+// -debug-addr serves the admin endpoint (Prometheus /metrics with the
+// rlwe_agg_* families next to the channel series, /debug/vars, pprof) on
+// its own listener — bind it to loopback. On SIGINT/SIGTERM the daemon
+// drains gracefully and prints the final stats snapshot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ringlwe"
+	"ringlwe/internal/agg"
+	"ringlwe/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	paramsList := flag.String("params", "A1", "parameter sets to serve, comma separated (A1, P1, P2)")
+	shards := flag.Int("shards", 0, "serving and stream shards (0 = GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "serve the debug/metrics endpoint on this address (empty = disabled)")
+	structured := flag.Bool("log", false, "structured slog logging to stderr")
+	flag.Parse()
+
+	var params []*ringlwe.Params
+	for _, name := range strings.Split(*paramsList, ",") {
+		switch strings.ToUpper(strings.TrimSpace(name)) {
+		case "A1":
+			params = append(params, ringlwe.A1())
+		case "P1":
+			params = append(params, ringlwe.P1())
+		case "P2":
+			params = append(params, ringlwe.P2())
+		case "":
+		default:
+			fatal(fmt.Errorf("unknown parameter set %q", name))
+		}
+	}
+	if len(params) == 0 {
+		fatal(fmt.Errorf("no parameter sets in %q", *paramsList))
+	}
+
+	srvOpts := []protocol.ServerOption{}
+	if *shards > 0 {
+		srvOpts = append(srvOpts, protocol.WithShards(*shards))
+	}
+	if *structured {
+		srvOpts = append(srvOpts, protocol.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
+
+	// The engine is built first (WithHandler is a construction option),
+	// then bound to the server's registry so one scrape covers channel
+	// and aggregation series.
+	var eng *agg.Engine
+	srvOpts = append([]protocol.ServerOption{
+		protocol.WithHandler(func(ch *protocol.Channel) { eng.Handle(ch) }),
+	}, srvOpts...)
+	srv := protocol.NewServer(srvOpts...)
+	eng = agg.New(srv.NumShards())
+	eng.Instrument(srv.Metrics())
+	for _, p := range params {
+		if err := srv.AddParams(p); err != nil {
+			fatal(err)
+		}
+	}
+
+	lnAddr, err := srv.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	for _, p := range srv.ParamsServed() {
+		names = append(names, fmt.Sprintf("%s (budget %d addends)", p.Name(), p.MaxAddends()))
+	}
+	fmt.Printf("aggregating on %s, serving %s, %d shards\n",
+		lnAddr, strings.Join(names, ", "), srv.NumShards())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("debug listener: %w", err))
+		}
+		fmt.Printf("debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, srv.DebugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "rlwe-aggd: debug endpoint:", err)
+			}
+		}()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ServeListeners() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("\n%v: shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+		}
+		fmt.Println("stats:", srv.Stats())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlwe-aggd:", err)
+	os.Exit(1)
+}

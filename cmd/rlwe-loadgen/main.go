@@ -4,6 +4,15 @@
 // connections against an in-process sharded server on loopback, and
 // reports handshakes per second per core.
 //
+// -workload agg switches to the encrypted-aggregation service
+// (internal/agg): each worker handshakes once, creates a stream, and
+// then drives windows of MaxAddends ciphertext submissions followed by a
+// reset, so the server-side fold path — not the handshake — is the
+// hot loop. Cells sweep parameter set × shard count and report submits
+// per second per core:
+//
+//	BenchmarkAggSubmit/A1/shards=4-8  52341  61000 ns/op  16393 submits/s/core  210 p50-ns  540 p99-ns
+//
 // Output is go-bench-format text, one line per cell, so the existing
 // rlwe-benchjson pipeline archives and regression-gates it unchanged:
 //
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"ringlwe"
+	"ringlwe/internal/agg"
 	"ringlwe/internal/obs"
 	"ringlwe/internal/protocol"
 )
@@ -65,7 +75,26 @@ type cellResult struct {
 	latency    obs.HistogramSnapshot // wall-clock per-handshake latency, µs
 }
 
+// parseParams resolves a comma-separated parameter-set list.
+func parseParams(csv string) ([]*ringlwe.Params, error) {
+	var params []*ringlwe.Params
+	for _, name := range strings.Split(csv, ",") {
+		switch strings.TrimSpace(name) {
+		case "P1":
+			params = append(params, ringlwe.P1())
+		case "P2":
+			params = append(params, ringlwe.P2())
+		case "A1":
+			params = append(params, ringlwe.A1())
+		default:
+			return nil, fmt.Errorf("unknown parameter set %q (want P1, P2 or A1)", name)
+		}
+	}
+	return params, nil
+}
+
 func main() {
+	workload := flag.String("workload", "handshake", "what to drive: handshake (channel capacity) or agg (aggregation submit path)")
 	paramsList := flag.String("params", "P1,P2", "parameter sets to sweep, comma separated")
 	shardsList := flag.String("shards", defaultShards(), "server shard counts to sweep, comma separated")
 	resumeList := flag.String("resume", "0,90", "resumption percentages to sweep, comma separated")
@@ -74,6 +103,15 @@ func main() {
 	dur := flag.Duration("dur", 2*time.Second, "measurement window per cell")
 	smoke := flag.Bool("smoke", false, "seconds-long CI grid: P1, 1 shard, resume 0 and 90, 4 conns, 300ms cells")
 	flag.Parse()
+
+	if *workload == "agg" {
+		runAggWorkload(*paramsList, *shardsList, *conns, *dur, *smoke)
+		return
+	}
+	if *workload != "handshake" {
+		fmt.Fprintf(os.Stderr, "rlwe-loadgen: unknown workload %q (want handshake or agg)\n", *workload)
+		os.Exit(1)
+	}
 
 	if *smoke {
 		*paramsList, *shardsList, *resumeList, *rekeyList = "P1", "1", "0,90", "0"
@@ -112,16 +150,9 @@ func defaultShards() string {
 }
 
 func buildGrid(paramsCSV, shardsCSV, resumeCSV, rekeyCSV string) ([]cell, error) {
-	var params []*ringlwe.Params
-	for _, name := range strings.Split(paramsCSV, ",") {
-		switch strings.TrimSpace(name) {
-		case "P1":
-			params = append(params, ringlwe.P1())
-		case "P2":
-			params = append(params, ringlwe.P2())
-		default:
-			return nil, fmt.Errorf("unknown parameter set %q (want P1 or P2)", name)
-		}
+	params, err := parseParams(paramsCSV)
+	if err != nil {
+		return nil, err
 	}
 	ints := func(csv, what string, min, max int) ([]int, error) {
 		var out []int
@@ -293,4 +324,178 @@ func runCell(c cell, conns int, dur time.Duration) (cellResult, error) {
 		return cellResult{}, fmt.Errorf("no handshakes completed in %v", dur)
 	}
 	return cellResult{handshakes: n, resumed: resumed.Load(), elapsed: elapsed, latency: latency.Snapshot()}, nil
+}
+
+// aggCell is one cell of the aggregation sweep: parameter set × server
+// shard count.
+type aggCell struct {
+	params *ringlwe.Params
+	shards int
+}
+
+// runAggWorkload sweeps the aggregation grid and prints one bench line
+// per cell. -smoke shrinks it to A1 × 1 shard, 4 connections, 300 ms.
+func runAggWorkload(paramsCSV, shardsCSV string, conns int, dur time.Duration, smoke bool) {
+	if smoke {
+		paramsCSV, shardsCSV = "A1", "1"
+		conns, dur = 4, 300*time.Millisecond
+	} else if paramsCSV == "P1,P2" {
+		// The handshake sweep's default set list; the aggregation-tuned
+		// default is A1 (26-addend budget vs the paper sets' 2).
+		paramsCSV = "A1"
+	}
+	params, err := parseParams(paramsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlwe-loadgen:", err)
+		os.Exit(1)
+	}
+	var shards []int
+	for _, s := range strings.Split(shardsCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 || v > 256 {
+			fmt.Fprintf(os.Stderr, "rlwe-loadgen: bad shard count %q\n", s)
+			os.Exit(1)
+		}
+		shards = append(shards, v)
+	}
+
+	ncore := runtime.GOMAXPROCS(0)
+	fmt.Printf("goos: %s\ngoarch: %s\ncpu-cores: %d\n", runtime.GOOS, runtime.GOARCH, ncore)
+	for _, p := range params {
+		for _, sh := range shards {
+			c := aggCell{params: p, shards: sh}
+			res, err := runAggCell(c, conns, dur)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlwe-loadgen: %s: %v\n", aggCellName(c, ncore), err)
+				os.Exit(1)
+			}
+			coreNS := float64(res.elapsed.Nanoseconds()) * float64(ncore) / float64(res.handshakes)
+			fmt.Printf("%s\t%d\t%.0f ns/op\t%.0f submits/s/core\t%d p50-ns\t%d p99-ns\n",
+				aggCellName(c, ncore), res.handshakes, coreNS, 1e9/coreNS,
+				res.latency.Quantile(0.50)*1000, res.latency.Quantile(0.99)*1000)
+		}
+	}
+}
+
+func aggCellName(c aggCell, ncore int) string {
+	return fmt.Sprintf("BenchmarkAggSubmit/%s/shards=%d-%d", c.params.Name(), c.shards, ncore)
+}
+
+// runAggCell drives one aggregation cell: an in-process sharded server
+// whose handler is the aggregation engine, and a pool of device workers.
+// Each worker handshakes once, creates its own stream, pre-encrypts a
+// sample, and then loops windows of MaxAddends submissions followed by a
+// reset — the measured operation is the submit round trip (parse + fold
+// under the stream lock), reusing cellResult with handshakes = submits.
+func runAggCell(c aggCell, conns int, dur time.Duration) (cellResult, error) {
+	eng := agg.New(c.shards)
+	srv := protocol.NewServer(
+		protocol.WithShards(c.shards),
+		protocol.WithHandler(eng.Handle),
+	)
+	eng.Instrument(srv.Metrics())
+	if err := srv.AddParams(c.params); err != nil {
+		return cellResult{}, err
+	}
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cellResult{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeListeners() }()
+
+	scheme := ringlwe.New(c.params)
+	pk, _, err := scheme.GenerateKeys()
+	if err != nil {
+		return cellResult{}, err
+	}
+	window := c.params.MaxAddends()
+	latency := obs.NewHistogram(conns)
+	var (
+		total   atomic.Uint64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		werr    error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { werr = err })
+		stop.Store(true)
+	}
+
+	worker := func(id int) {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer conn.Close()
+		ch, err := protocol.Client(conn, scheme)
+		if err != nil {
+			fail(fmt.Errorf("worker %d: %w", id, err))
+			return
+		}
+		cl := agg.NewClient(ch)
+		var token [agg.TokenSize]byte
+		token[0] = byte(id)
+		streamID, err := cl.CreateStream(token)
+		if err != nil {
+			fail(fmt.Errorf("worker %d: %w", id, err))
+			return
+		}
+		ct, err := scheme.Encrypt(pk, make([]byte, c.params.MessageSize()))
+		if err != nil {
+			fail(err)
+			return
+		}
+		blob, err := ct.MarshalBinary()
+		if err != nil {
+			fail(err)
+			return
+		}
+		warm := true // first submit never counts (server-side warmup)
+		for !stop.Load() {
+			for i := 0; i < window && !stop.Load(); i++ {
+				t0 := time.Now()
+				if _, err := cl.Submit(streamID, blob); err != nil {
+					fail(fmt.Errorf("worker %d submit: %w", id, err))
+					return
+				}
+				if warm {
+					warm = false
+					continue
+				}
+				total.Add(1)
+				latency.ObserveDuration(id, time.Since(t0))
+			}
+			if _, err := cl.Reset(streamID, token); err != nil {
+				fail(fmt.Errorf("worker %d reset: %w", id, err))
+				return
+			}
+		}
+	}
+
+	start := time.Now()
+	wg.Add(conns)
+	for i := 0; i < conns; i++ {
+		go worker(i)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err := srv.Close(); err != nil {
+		return cellResult{}, err
+	}
+	<-serveDone
+	if werr != nil {
+		return cellResult{}, werr
+	}
+	n := total.Load()
+	if n == 0 {
+		return cellResult{}, fmt.Errorf("no submissions completed in %v", dur)
+	}
+	return cellResult{handshakes: n, elapsed: elapsed, latency: latency.Snapshot()}, nil
 }

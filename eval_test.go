@@ -1,0 +1,293 @@
+package ringlwe
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestEvalAggregateXOR is the end-to-end correctness check of the public
+// evaluation surface: on A1 at four addends (analytic per-message failure
+// ~1e-10, so strict equality never flakes), the decryption of a homomorphic
+// sum equals the XOR of the plaintexts, whether folded pairwise, via
+// AggregateInto, or via AggregateBatch on a shared Scheme from concurrent
+// goroutines.
+func TestEvalAggregateXOR(t *testing.T) {
+	p := A1()
+	s := NewDeterministic(p, 4001)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	msgs := make([][]byte, k)
+	cts := make([]*Ciphertext, k)
+	want := make([]byte, p.MessageSize())
+	for j := range cts {
+		msgs[j] = make([]byte, p.MessageSize())
+		for i := range msgs[j] {
+			msgs[j][i] = byte(37*j + i)
+		}
+		if cts[j], err = s.Encrypt(pk, msgs[j]); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			want[i] ^= msgs[j][i]
+		}
+	}
+
+	// Pairwise fold.
+	acc := NewCiphertext(p)
+	for _, ct := range cts {
+		if err := s.EvalAddInto(acc, acc, ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Addends() != k {
+		t.Fatalf("Addends = %d, want %d", acc.Addends(), k)
+	}
+	got, err := s.Decrypt(sk, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("pairwise fold: decryption != XOR of plaintexts")
+	}
+
+	// AggregateInto must agree coefficient for coefficient.
+	agg := NewCiphertext(p)
+	if err := s.AggregateInto(agg, cts); err != nil {
+		t.Fatal(err)
+	}
+	gotAgg, err := s.Decrypt(sk, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotAgg, want) {
+		t.Fatal("AggregateInto: decryption != XOR of plaintexts")
+	}
+
+	// Subtracting one input removes it from the XOR (characteristic-q
+	// arithmetic on the encoding: the decode threshold only sees ±q/2).
+	if err := s.EvalSubInto(agg, agg, cts[0]); err != nil {
+		t.Fatal(err)
+	}
+	gotSub, err := s.Decrypt(sk, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotSub {
+		if gotSub[i] != want[i]^msgs[0][i] {
+			t.Fatal("EvalSubInto: decryption != XOR without the removed input")
+		}
+	}
+
+	// AggregateBatch on the shared scheme, hammered concurrently.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			groups := [][]*Ciphertext{cts, cts[:2], nil}
+			out, err := s.AggregateBatch(groups)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if out[0].Addends() != k || out[1].Addends() != 2 || out[2].Addends() != 0 {
+				t.Errorf("batch addends = %d/%d/%d", out[0].Addends(), out[1].Addends(), out[2].Addends())
+				return
+			}
+			got, err := s.Decrypt(sk, out[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("AggregateBatch: decryption != XOR of plaintexts")
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Over-budget groups fail the batch loudly.
+	over := make([]*Ciphertext, p.MaxAddends()+1)
+	for i := range over {
+		over[i] = cts[0]
+	}
+	if _, err := s.AggregateBatch([][]*Ciphertext{over}); !errors.Is(err, ErrNoiseBudget) {
+		t.Fatalf("over-budget batch: err = %v, want ErrNoiseBudget", err)
+	}
+}
+
+// TestEvalZeroAlloc pins the evaluation hot path at zero steady-state
+// allocations (the CI alloc gate runs -run ZeroAlloc).
+func TestEvalZeroAlloc(t *testing.T) {
+	p := A1()
+	s := NewDeterministic(p, 4002)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Encrypt(pk, make([]byte, p.MessageSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Encrypt(pk, make([]byte, p.MessageSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCiphertext(p)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := s.EvalAddInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EvalSubInto(dst, dst, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EvalScalarMulInto(dst, a, 3); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("eval ops allocate %.1f times per run, want 0", n)
+	}
+}
+
+// TestAggregateZeroAlloc pins AggregateInto at zero steady-state
+// allocations over a full-budget group.
+func TestAggregateZeroAlloc(t *testing.T) {
+	p := A1()
+	s := NewDeterministic(p, 4003)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.Encrypt(pk, make([]byte, p.MessageSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := make([]*Ciphertext, p.MaxAddends())
+	for i := range group {
+		group[i] = ct
+	}
+	dst := NewCiphertext(p)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := s.AggregateInto(dst, group); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AggregateInto allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestAggregateWire exercises the kind-5 wire format: the addend count
+// survives the round trip, kinds cannot be confused, over-budget counts and
+// cross-set destinations are refused with the right sentinels.
+func TestAggregateWire(t *testing.T) {
+	p := A1()
+	s := NewDeterministic(p, 4004)
+	pk, _, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := make([]*Ciphertext, 3)
+	for i := range cts {
+		if cts[i], err = s.Encrypt(pk, make([]byte, p.MessageSize())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := NewCiphertext(p)
+	if err := s.AggregateInto(agg, cts); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := Aggregate{agg}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, ok := WireKind(blob); !ok || kind != KindAggregate {
+		t.Fatalf("WireKind = (%d, %v), want (%d, true)", kind, ok, KindAggregate)
+	}
+	parsed, err := ParseAnyAggregate(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Addends() != 3 {
+		t.Fatalf("parsed Addends = %d, want 3", parsed.Addends())
+	}
+	re, err := Aggregate{parsed}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, blob) {
+		t.Fatal("aggregate blob does not round-trip bit-identically")
+	}
+	var viaUnmarshal Aggregate
+	if err := viaUnmarshal.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if viaUnmarshal.Addends() != 3 {
+		t.Fatalf("UnmarshalBinary Addends = %d, want 3", viaUnmarshal.Addends())
+	}
+
+	// Into-parse reuses buffers and carries the count.
+	dst := NewCiphertext(p)
+	if err := ParseAggregateInto(dst, blob); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Addends() != 3 {
+		t.Fatalf("ParseAggregateInto Addends = %d, want 3", dst.Addends())
+	}
+
+	// Kind confusion: a plain-ciphertext blob is not an aggregate and vice
+	// versa.
+	ctBlob, err := cts[0].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAnyAggregate(ctBlob); err == nil {
+		t.Fatal("plain ciphertext accepted as aggregate")
+	}
+	if _, err := ParseAnyCiphertext(blob); err == nil {
+		t.Fatal("aggregate accepted as plain ciphertext")
+	}
+
+	// Addend-count overflow: a count past MaxAddends could not have been
+	// produced within budget and must be refused with ErrNoiseBudget.
+	overflow := append([]byte(nil), blob...)
+	for i := wireHeaderSize; i < wireHeaderSize+aggregateSubHeaderSize; i++ {
+		overflow[i] = 0xFF
+	}
+	if _, err := ParseAnyAggregate(overflow); !errors.Is(err, ErrNoiseBudget) {
+		t.Fatalf("overflow count: err = %v, want ErrNoiseBudget", err)
+	}
+
+	// Cross-set destination: ErrParamsMismatch, not silent reinterpretation.
+	other := NewCiphertext(P1())
+	if err := ParseAggregateInto(other, blob); !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("cross-set ParseAggregateInto: err = %v, want ErrParamsMismatch", err)
+	}
+	if err := ParseCiphertextInto(other, ctBlob); !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("cross-set ParseCiphertextInto: err = %v, want ErrParamsMismatch", err)
+	}
+
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := ParseAnyAggregate(blob[:cut]); err == nil {
+			t.Fatalf("truncated aggregate (%d bytes) accepted", cut)
+		}
+	}
+}
+
+// TestA1WireRegistration pins A1's built-in wire identity alongside the
+// paper sets'.
+func TestA1WireRegistration(t *testing.T) {
+	if id := A1().WireID(); id != 3 {
+		t.Fatalf("A1 wire ID = %d, want 3", id)
+	}
+	p, err := parseWireHeaderBytes([]byte{'R', 'L', 2, KindCiphertext, 0, 3}, wireKindCiphertext)
+	if err != nil || p.Name() != "A1" {
+		t.Fatalf("header resolution: params=%v err=%v", p, err)
+	}
+}

@@ -180,6 +180,56 @@ func ExampleKEM() {
 	// Output: true
 }
 
+// Additively homomorphic evaluation: ciphertexts encrypted under one key
+// combine in the NTT domain without decryption, and the sum decrypts to
+// the XOR of the plaintexts. The A1 parameter set is tuned for this (a
+// 26-addend noise budget); folding past MaxAddends is refused with
+// ErrNoiseBudget instead of silently corrupting the aggregate.
+func ExampleEvaluator() {
+	params := ringlwe.A1()
+	scheme := ringlwe.NewDeterministic(params, 11)
+	pub, priv, err := scheme.GenerateKeys()
+	if err != nil {
+		panic(err)
+	}
+
+	msgs := [][]byte{
+		make([]byte, params.MessageSize()),
+		make([]byte, params.MessageSize()),
+		make([]byte, params.MessageSize()),
+	}
+	copy(msgs[0], "sensor A")
+	copy(msgs[1], "sensor B")
+	copy(msgs[2], "sensor C")
+	cts := make([]*ringlwe.Ciphertext, len(msgs))
+	for i, m := range msgs {
+		if cts[i], err = scheme.Encrypt(pub, m); err != nil {
+			panic(err)
+		}
+	}
+
+	// Any Evaluator folds ciphertexts: the Scheme (concurrency-safe) or a
+	// Workspace (per-goroutine). AggregateInto is the many-at-once form.
+	var ev ringlwe.Evaluator = scheme
+	sum := ringlwe.NewCiphertext(params)
+	if err := ev.AggregateInto(sum, cts); err != nil {
+		panic(err)
+	}
+
+	got, err := priv.Decrypt(sum)
+	if err != nil {
+		panic(err)
+	}
+	want := make([]byte, params.MessageSize())
+	for _, m := range msgs {
+		for i := range want {
+			want[i] ^= m[i]
+		}
+	}
+	fmt.Println(sum.Addends(), bytes.Equal(got, want))
+	// Output: 3 true
+}
+
 // Self-describing blobs carry their parameter set: the receiver needs no
 // out-of-band agreement on P1 vs P2.
 func ExampleParseAnyCiphertext() {

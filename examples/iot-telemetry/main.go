@@ -1,9 +1,21 @@
-// IoT telemetry: the scenario that motivates the paper — a constrained
-// device ("these devices handle sensitive information and are sometimes
-// critical for the safety of human lives", §I) encrypting sensor frames to
-// a gateway public key. The example runs the real scheme and, in parallel,
-// the Cortex-M4F cycle model, so each frame is annotated with the cycle
-// and energy budget it would consume on the paper's 168 MHz STM32F407.
+// IoT telemetry over the encrypted-aggregation service: the scenario
+// that motivates the paper — constrained devices ("these devices handle
+// sensitive information and are sometimes critical for the safety of
+// human lives", §I) reporting sensor frames through an untrusted
+// aggregation point.
+//
+// Each sensor encrypts its frame under the fleet owner's A1 public key
+// and submits it over its own secure channel to an in-process
+// aggregation server (internal/agg). The server folds the submissions
+// into one accumulator in the NTT domain — it never holds a key that
+// could decrypt a single reading — and the owner retrieves ONE aggregate
+// ciphertext and decrypts the whole fleet's report from it.
+//
+// The trick that makes XOR-aggregation useful here is slotting: sensor i
+// writes its 4-byte frame into byte slot i of the 32-byte message and
+// zeroes the rest. XOR of disjoint slots is concatenation, so the
+// decrypted aggregate is simply every sensor's frame side by side, while
+// the aggregation server only ever saw ciphertexts.
 //
 //	go run ./examples/iot-telemetry
 package main
@@ -12,120 +24,155 @@ import (
 	"encoding/binary"
 	"fmt"
 	"log"
+	"net"
+	"sync"
 
 	"ringlwe"
-	"ringlwe/internal/core"
-	"ringlwe/internal/m4"
-	"ringlwe/internal/rng"
+	"ringlwe/internal/agg"
+	"ringlwe/internal/protocol"
 )
 
-// frame is a 12-byte sensor reading: id, sequence, temperature (milli-°C),
-// pressure (Pa).
+// frame is one sensor's 4-byte slot: temperature (centi-°C, signed),
+// battery (percent) and an alarm bit mask.
 type frame struct {
-	sensor uint16
-	seq    uint16
-	temp   int32
-	press  uint32
+	temp    int16
+	battery uint8
+	alarms  uint8
 }
 
-func (f frame) pack(buf []byte) {
-	binary.LittleEndian.PutUint16(buf[0:], f.sensor)
-	binary.LittleEndian.PutUint16(buf[2:], f.seq)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(f.temp))
-	binary.LittleEndian.PutUint32(buf[8:], f.press)
+const slotSize = 4
+
+func (f frame) pack(slot []byte) {
+	binary.LittleEndian.PutUint16(slot[0:], uint16(f.temp))
+	slot[2] = f.battery
+	slot[3] = f.alarms
 }
 
-const (
-	clockHz = 168e6 // STM32F407 max clock
-	// Cortex-M4F running from flash at full speed draws around 40 mA at
-	// 3.3 V on this family; good enough for a budget illustration.
-	powerWatts = 0.132
-)
+func unpack(slot []byte) frame {
+	return frame{
+		temp:    int16(binary.LittleEndian.Uint16(slot[0:])),
+		battery: slot[2],
+		alarms:  slot[3],
+	}
+}
 
 func main() {
-	params := ringlwe.P1()
+	params := ringlwe.A1() // the aggregation-tuned set: 26-addend noise budget
+	sensors := params.MessageSize() / slotSize
+
+	// The fleet owner's data key pair. The aggregation server never sees
+	// the private key — transport security (the channel KEM keys) and
+	// data security (this pair) are separate key material.
 	scheme := ringlwe.New(params)
-	gatewayPub, gatewayPriv, err := scheme.GenerateKeys()
+	ownerPub, ownerPriv, err := scheme.GenerateKeys()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The device-side cycle model: same scheme, same dataflow, charged
-	// with Cortex-M4F instruction prices.
-	mach := m4.New()
-	deviceScheme, err := m4.NewScheme(mach, core.P1(), rng.NewCryptoSource())
+	// The aggregation server: a sharded secure-channel server whose
+	// handler is the aggregation engine (what rlwe-aggd runs).
+	eng := agg.New(2)
+	srv := protocol.NewServer(protocol.WithHandler(eng.Handle), protocol.WithShards(2))
+	eng.Instrument(srv.Metrics())
+	if err := srv.AddParams(params); err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	devicePub, _ := deviceScheme.KeyGen()
-	keygenCycles := mach.Cycles
-	_ = devicePub
+	go srv.ServeListeners()
+	defer srv.Close()
 
-	fmt.Printf("gateway: %s key pair ready (device keygen would cost %d cycles ≈ %.2f ms)\n\n",
-		params.Name(), keygenCycles, 1000*float64(keygenCycles)/clockHz)
-
-	readings := []frame{
-		{sensor: 0x0101, seq: 1, temp: 21_350, press: 101_325},
-		{sensor: 0x0101, seq: 2, temp: 21_400, press: 101_298},
-		{sensor: 0x0207, seq: 1, temp: -4_020, press: 99_710},
-		{sensor: 0x0207, seq: 2, temp: -4_050, press: 99_702},
+	// The owner opens its own channel, creates the stream, and keeps the
+	// token; sensors get the stream ID only.
+	ownerConn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ownerConn.Close()
+	ownerCh, err := protocol.Client(ownerConn, scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := agg.NewClient(ownerCh)
+	token := [agg.TokenSize]byte{'f', 'l', 'e', 'e', 't', '-', '0', '1'}
+	streamID, err := owner.CreateStream(token)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	var totalCycles uint64
-	for _, r := range readings {
-		msg := make([]byte, params.MessageSize())
-		r.pack(msg)
+	perBit, perMsg := params.AggFailureRate(uint64(sensors))
+	fmt.Printf("fleet of %d sensors → stream %d on %s (%s, budget %d addends,\n"+
+		"analytic failure at depth %d: %.2g per bit, %.2g per report)\n\n",
+		sensors, streamID, addr, params.Name(), params.MaxAddends(), sensors, perBit, perMsg)
 
-		// Real encryption (what actually protects the frame).
-		ct, err := scheme.Encrypt(gatewayPub, msg)
-		if err != nil {
-			log.Fatal(err)
+	// Eight sensors, each on its own secure channel, each submitting one
+	// encrypted slotted frame, concurrently.
+	readings := make([]frame, sensors)
+	var wg sync.WaitGroup
+	for i := 0; i < sensors; i++ {
+		readings[i] = frame{
+			temp:    int16(2135 - 310*int16(i%3)),
+			battery: uint8(100 - 7*i),
+			alarms:  uint8(i % 2), // odd sensors raise the "door open" bit
 		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer conn.Close()
+			ch, err := protocol.Client(conn, scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			msg := make([]byte, params.MessageSize())
+			readings[i].pack(msg[i*slotSize:])
+			ct, err := scheme.Encrypt(ownerPub, msg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := agg.NewClient(ch).SubmitCiphertext(streamID, ct); err != nil {
+				log.Fatalf("sensor %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
 
-		// Modeled cost of the same operation on the device.
-		mach.Reset()
-		refPk := &core.PublicKey{}
-		*refPk = *mustInternalPK(gatewayPub)
-		deviceScheme.Encrypt(refPk, msg)
-		cycles := mach.Cycles
-		totalCycles += cycles
-
-		// Gateway-side decryption.
-		got, err := gatewayPriv.Decrypt(ct)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var back frame
-		back.sensor = binary.LittleEndian.Uint16(got[0:])
-		back.seq = binary.LittleEndian.Uint16(got[2:])
-		back.temp = int32(binary.LittleEndian.Uint32(got[4:]))
-		back.press = binary.LittleEndian.Uint32(got[8:])
-
+	// One query, one decryption: the whole fleet's report.
+	aggregate, err := owner.Query(streamID, token)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := scheme.Decrypt(ownerPriv, aggregate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregate: %d addends, %d B ciphertext → one %d B report\n\n",
+		aggregate.Addends(), len(aggregate.Bytes()), len(report))
+	ok := true
+	for i := 0; i < sensors; i++ {
+		got := unpack(report[i*slotSize:])
 		status := "ok"
-		if back != r {
-			status = "DECRYPTION FAILURE (retransmit)"
+		if got != readings[i] {
+			status, ok = "MISMATCH", false
 		}
-		ms := 1000 * float64(cycles) / clockHz
-		uj := 1e6 * powerWatts * float64(cycles) / clockHz
-		fmt.Printf("sensor %#04x seq %d: %6.2f °C %7d Pa → %4d B ciphertext  "+
-			"[%7d cycles ≈ %.2f ms ≈ %.0f µJ] %s\n",
-			r.sensor, r.seq, float64(r.temp)/1000, r.press, len(ct.Bytes()),
-			cycles, ms, uj, status)
+		alarm := ""
+		if got.alarms != 0 {
+			alarm = "  ALARM"
+		}
+		fmt.Printf("sensor %02d: %6.2f °C  battery %3d%%%s  [%s]\n",
+			i, float64(got.temp)/100, got.battery, alarm, status)
 	}
-
-	fmt.Printf("\n4 frames: %d modeled device cycles (paper: 121 166 per encryption)\n", totalCycles)
-	fmt.Printf("at %d fps a 168 MHz device would spend %.2f%% of its cycles on encryption\n",
-		10, 100*float64(totalCycles/4*10)/clockHz)
-}
-
-// mustInternalPK converts the public-API key into the internal
-// representation the cycle model operates on. Examples live inside the
-// module, so they may reach the internal packages; external users would
-// stay on the ringlwe API.
-func mustInternalPK(pk *ringlwe.PublicKey) *core.PublicKey {
-	inner, err := core.ParsePublicKey(core.P1(), pk.Bytes())
+	if !ok {
+		log.Fatal("aggregate report does not match the submitted readings")
+	}
+	released, err := owner.Reset(streamID, token)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return inner
+	fmt.Printf("\nwindow reset: released %d addends for the next reporting round\n", released)
 }

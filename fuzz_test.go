@@ -123,6 +123,75 @@ func FuzzParseAny(f *testing.F) {
 	})
 }
 
+// FuzzEvalWire drives the aggregate-ciphertext wire surface: truncation,
+// kind confusion against every existing kind, addend-count overflow and
+// cross-set destinations must all surface as errors (never panics), and any
+// accepted blob must round-trip bit-identically with its addend count
+// intact and within budget.
+func FuzzEvalWire(f *testing.F) {
+	a1 := NewDeterministic(A1(), 9006)
+	p1 := NewDeterministic(P1(), 9007)
+	pinned := NewCiphertext(A1())
+	for _, s := range []*Scheme{a1, p1} {
+		p := s.Params()
+		pk, sk, err := s.GenerateKeys()
+		if err != nil {
+			f.Fatal(err)
+		}
+		cts := make([]*Ciphertext, 2)
+		for i := range cts {
+			if cts[i], err = s.Encrypt(pk, make([]byte, p.MessageSize())); err != nil {
+				f.Fatal(err)
+			}
+		}
+		agg := NewCiphertext(p)
+		if err := s.AggregateInto(agg, cts); err != nil {
+			f.Fatal(err)
+		}
+		blob, err := Aggregate{agg}.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:wireHeaderSize+3]) // sub-header truncation
+		f.Add(append(blob, 0x55))      // trailing byte
+		overflow := append([]byte(nil), blob...)
+		overflow[wireHeaderSize] = 0xFF // addend count far past any budget
+		f.Add(overflow)
+		ctBlob, err := cts[0].MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ctBlob) // kind confusion: plain ciphertext into aggregate parsers
+		confused := append([]byte(nil), blob...)
+		confused[3] = KindEncapsulatedKey // kind confusion the other way
+		f.Add(confused)
+		skBlob, err := sk.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(skBlob)
+	}
+	f.Add([]byte{'R', 'L', 2, KindAggregate, 0xBE, 0xEF}) // unknown params ID
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if ct, err := ParseAnyAggregate(data); err == nil {
+			if ct.Addends() > uint64(ct.Params().MaxAddends()) {
+				t.Fatalf("accepted aggregate with %d addends over budget %d", ct.Addends(), ct.Params().MaxAddends())
+			}
+			re, err := Aggregate{ct}.MarshalBinary()
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatalf("accepted aggregate does not round-trip (err=%v)", err)
+			}
+		}
+		// The pinned-destination parsers must enforce the A1 set against
+		// arbitrary headers (cross-set blobs surface ErrParamsMismatch, not
+		// corruption) and never touch memory outside the buffers.
+		_ = ParseAggregateInto(pinned, data)
+		_ = ParseCiphertextInto(pinned, data)
+	})
+}
+
 func FuzzDecapsulate(f *testing.F) {
 	p := P1()
 	s := NewDeterministic(p, 9003)

@@ -1,0 +1,238 @@
+// Package agg is the encrypted-aggregation service built on the
+// additively homomorphic evaluation surface (ringlwe/eval.go): devices
+// encrypt samples under a stream owner's public key and submit the
+// ciphertexts over established secure channels; the server folds every
+// submission into a per-stream accumulator with EvalAddInto — in the NTT
+// domain, without ever holding a decryption key for the data — and only
+// the stream owner, who holds the matching private key, can decrypt the
+// aggregate it queries back.
+//
+// The Engine is the server side: sharded per-stream accumulators (streams
+// hash to shards; each stream folds under its own lock, so submissions to
+// different streams never contend), the noise-budget accounting the
+// evaluation layer enforces (an over-budget stream rejects further
+// submissions loudly with statusBudget instead of silently corrupting the
+// aggregate), and a 16-byte owner token checked in constant time that
+// gates QUERY and RESET. Handle is the protocol.WithHandler entry point;
+// Instrument binds the engine to a metrics registry (typically the
+// serving protocol.Server's) so submissions, folds, rejections and
+// accumulator depth surface on the same /metrics scrape as the channel
+// layer's series.
+//
+// Client wraps the device side of the record protocol; see proto.go for
+// the record layout.
+package agg
+
+import (
+	"crypto/hmac"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringlwe"
+	"ringlwe/internal/obs"
+)
+
+// TokenSize is the length of a stream's owner token. The creator of a
+// stream supplies the token; QUERY and RESET must present it again and
+// are refused (statusAuth) otherwise. Tokens are compared in constant
+// time.
+const TokenSize = 16
+
+// stream is one aggregation stream: an accumulator ciphertext, the owner
+// token that gates reading and resetting it, and the metric bundle of its
+// parameter set. The mutex serializes folds; submissions parse outside
+// it, so the critical section is one EvalAddInto (two n-coefficient
+// pointwise additions).
+type stream struct {
+	mu    sync.Mutex
+	token [TokenSize]byte
+	acc   *ringlwe.Ciphertext
+	m     *paramsMetrics
+}
+
+// shard is one lock-striped slice of the stream table, padded so the
+// shard locks of a hot engine never share a cache line.
+type shard struct {
+	mu      sync.Mutex
+	streams map[uint64]*stream
+	_       [40]byte
+}
+
+// paramsMetrics is the per-parameter-set slice of the engine's
+// instrumentation. A nil *paramsMetrics (engine not instrumented)
+// disables every series with one pointer check.
+type paramsMetrics struct {
+	submits *obs.Counter   // accepted submissions
+	queries *obs.Counter   // answered queries
+	resets  *obs.Counter   // accumulator resets
+	streams *obs.Counter   // streams created
+	rejects *obs.Counter   // refused requests (budget, auth, params, proto)
+	foldDur *obs.Histogram // EvalAddInto critical-section wall time, µs
+	depth   *obs.Gauge     // summed addends across live accumulators
+}
+
+// Engine is the aggregation server: the sharded stream table and the
+// handler driven once per established channel. Construct with New, wire
+// into a protocol.Server with WithHandler(e.Handle), and bind metrics
+// with Instrument. All methods are safe for concurrent use.
+type Engine struct {
+	shards    []shard
+	numShards int
+	nextID    atomic.Uint64
+
+	mu        sync.RWMutex
+	perParams map[string]*paramsMetrics
+	reg       *obs.Registry
+}
+
+// New builds an engine with n stream shards (values below 1 become 1).
+// Match the serving protocol.Server's shard count so the per-shard metric
+// slots line up with the serving lanes.
+func New(n int) *Engine {
+	if n < 1 {
+		n = 1
+	}
+	e := &Engine{
+		shards:    make([]shard, n),
+		numShards: n,
+		perParams: make(map[string]*paramsMetrics),
+	}
+	for i := range e.shards {
+		e.shards[i].streams = make(map[uint64]*stream)
+	}
+	return e
+}
+
+// Instrument binds the engine's metric families into reg — call once,
+// before serving, typically with the protocol.Server's Metrics()
+// registry so one scrape covers channels and aggregation. An
+// uninstrumented engine serves identically with every series disabled.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.mu.Lock()
+	e.reg = reg
+	e.mu.Unlock()
+}
+
+// metricsFor returns the lazily created per-params metric bundle, or nil
+// when the engine is not instrumented. Called on the stream-create path
+// only; the hot paths reach the bundle through the stream.
+func (e *Engine) metricsFor(p *ringlwe.Params) *paramsMetrics {
+	name := p.Name()
+	e.mu.RLock()
+	m, ok := e.perParams[name]
+	reg := e.reg
+	e.mu.RUnlock()
+	if ok || reg == nil {
+		return m
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok = e.perParams[name]; ok {
+		return m
+	}
+	lab := obs.Labels{"params": name}
+	m = &paramsMetrics{
+		submits: reg.Counter("rlwe_agg_submits_total", "ciphertext submissions folded into accumulators", lab, e.numShards),
+		queries: reg.Counter("rlwe_agg_queries_total", "aggregate queries answered", lab, e.numShards),
+		resets:  reg.Counter("rlwe_agg_resets_total", "accumulator resets", lab, e.numShards),
+		streams: reg.Counter("rlwe_agg_streams_total", "aggregation streams created", lab, e.numShards),
+		rejects: reg.Counter("rlwe_agg_rejects_total", "refused aggregation requests (budget, auth, params, malformed)", lab, e.numShards),
+		foldDur: reg.Histogram("rlwe_agg_fold_duration_us", "EvalAddInto fold critical-section wall time, microseconds", lab, e.numShards),
+		depth:   reg.Gauge("rlwe_agg_accumulator_depth", "summed addend counts across live accumulators", lab, e.numShards),
+	}
+	e.perParams[name] = m
+	return m
+}
+
+// shardOf stripes a stream ID over the shard table.
+func (e *Engine) shardOf(id uint64) *shard {
+	return &e.shards[id%uint64(e.numShards)]
+}
+
+// lookup returns the stream for id, or nil.
+func (e *Engine) lookup(id uint64) *stream {
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	st := sh.streams[id]
+	sh.mu.Unlock()
+	return st
+}
+
+// create allocates a stream for the channel's parameter set under the
+// given owner token and returns its ID. IDs start at 1 and are never
+// reused within an engine's lifetime.
+func (e *Engine) create(p *ringlwe.Params, token [TokenSize]byte, metricShard int) uint64 {
+	id := e.nextID.Add(1)
+	st := &stream{
+		token: token,
+		acc:   ringlwe.NewCiphertext(p),
+		m:     e.metricsFor(p),
+	}
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	sh.streams[id] = st
+	sh.mu.Unlock()
+	if st.m != nil {
+		st.m.streams.Inc(metricShard)
+	}
+	return id
+}
+
+// fold adds one parsed submission (a fresh kind-3 ciphertext or a
+// pre-aggregated kind-5 blob, already parsed against the channel's
+// parameter set) into the stream's accumulator. It returns the
+// accumulator's new addend count, or ErrNoiseBudget when the submission
+// would push the stream past the set's MaxAddends — the accumulator is
+// untouched then, so the owner can still query and reset it.
+func (st *stream) fold(s *ringlwe.Scheme, sub *ringlwe.Ciphertext, metricShard int) (uint64, error) {
+	units := sub.Addends()
+	t0 := time.Now()
+	st.mu.Lock()
+	err := s.EvalAddInto(st.acc, st.acc, sub)
+	depth := st.acc.Addends()
+	st.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if st.m != nil {
+		st.m.foldDur.ObserveDuration(metricShard, time.Since(t0))
+		st.m.submits.Inc(metricShard)
+		st.m.depth.Add(metricShard, int64(units))
+	}
+	return depth, nil
+}
+
+// snapshot marshals the accumulator as a self-describing kind-5
+// aggregate blob (addend count included) under the stream lock.
+func (st *stream) snapshot(metricShard int) ([]byte, error) {
+	st.mu.Lock()
+	blob, err := ringlwe.Aggregate{Ciphertext: st.acc}.MarshalBinary()
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if st.m != nil {
+		st.m.queries.Inc(metricShard)
+	}
+	return blob, nil
+}
+
+// reset zeroes the accumulator (polynomials and addend count), returning
+// the depth it released.
+func (st *stream) reset(metricShard int) uint64 {
+	st.mu.Lock()
+	released := st.acc.Addends()
+	st.acc.Zero()
+	st.mu.Unlock()
+	if st.m != nil {
+		st.m.resets.Inc(metricShard)
+		st.m.depth.Add(metricShard, -int64(released))
+	}
+	return released
+}
+
+// authorized checks a presented owner token in constant time.
+func (st *stream) authorized(token []byte) bool {
+	return hmac.Equal(token, st.token[:])
+}

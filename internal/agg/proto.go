@@ -1,0 +1,223 @@
+package agg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ringlwe"
+	"ringlwe/internal/protocol"
+)
+
+// Record protocol, carried as data records on an established secure
+// channel (one request record, one response record, strictly in order —
+// the channel already provides confidentiality, integrity and replay
+// protection, so the aggregation layer adds only framing and
+// authorization):
+//
+//	CREATE   op ‖ token[16]                  → status ‖ stream ID (8 B BE)
+//	SUBMIT   op ‖ stream ID ‖ wire blob      → status ‖ depth (8 B BE)
+//	QUERY    op ‖ stream ID ‖ token[16]      → status ‖ kind-5 aggregate blob
+//	RESET    op ‖ stream ID ‖ token[16]      → status ‖ released depth (8 B BE)
+//
+// A SUBMIT body is a self-describing wire blob: a kind-3 ciphertext (one
+// fresh sample, one noise unit) or a kind-5 aggregate (a device-side
+// pre-fold carrying its addend count), either way validated against the
+// channel's negotiated parameter set before it touches an accumulator.
+const (
+	opCreate = 1
+	opSubmit = 2
+	opQuery  = 3
+	opReset  = 4
+
+	statusOK        = 0
+	statusUnknown   = 1 // no such stream
+	statusAuth      = 2 // owner token mismatch
+	statusBudget    = 3 // fold would exceed the parameter set's MaxAddends
+	statusParams    = 4 // submission blob is for another parameter set
+	statusMalformed = 5 // unparseable request or blob
+)
+
+const streamIDSize = 8
+
+// Sentinel errors the Client maps response statuses to. Budget and
+// params refusals surface as the library's own sentinels
+// (ringlwe.ErrNoiseBudget, ringlwe.ErrParamsMismatch) so device code
+// handles local and remote refusals with one errors.Is check.
+var (
+	// ErrUnknownStream reports a stream ID the server does not serve.
+	ErrUnknownStream = errors.New("agg: unknown stream")
+	// ErrAuth reports an owner-token mismatch on QUERY or RESET.
+	ErrAuth = errors.New("agg: owner token mismatch")
+	// ErrMalformed reports a request the server could not parse.
+	ErrMalformed = errors.New("agg: malformed request")
+)
+
+// statusErr maps a response status to its sentinel (nil for statusOK).
+func statusErr(status byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusUnknown:
+		return ErrUnknownStream
+	case statusAuth:
+		return ErrAuth
+	case statusBudget:
+		return ringlwe.ErrNoiseBudget
+	case statusParams:
+		return ringlwe.ErrParamsMismatch
+	case statusMalformed:
+		return ErrMalformed
+	default:
+		return fmt.Errorf("agg: unknown response status %d", status)
+	}
+}
+
+// Handle serves the aggregation protocol on one established channel until
+// the peer disconnects — the protocol.WithHandler entry point:
+//
+//	eng := agg.New(shards)
+//	srv := protocol.NewServer(protocol.WithHandler(eng.Handle), ...)
+//	eng.Instrument(srv.Metrics())
+//
+// Submissions are parsed into a per-channel scratch ciphertext pinned to
+// the channel's negotiated parameter set (zero steady-state allocations
+// on the submit path) and folded under the stream lock only.
+func (e *Engine) Handle(ch *protocol.Channel) {
+	scheme := ch.Scheme()
+	p := ch.Params()
+	scratch := ringlwe.NewCiphertext(p)
+	chm := e.metricsFor(p)
+	resp := make([]byte, 0, 1+streamIDSize)
+	for {
+		req, err := ch.Recv()
+		if err != nil {
+			return
+		}
+		resp = resp[:0]
+		if len(req) < 1 {
+			resp = append(resp, statusMalformed)
+		} else {
+			switch req[0] {
+			case opCreate:
+				resp = e.handleCreate(p, chm, req[1:], resp)
+			case opSubmit:
+				resp = e.handleSubmit(scheme, scratch, req[1:], resp)
+			case opQuery:
+				resp = e.handleQuery(req[1:], resp)
+			case opReset:
+				resp = e.handleReset(req[1:], resp)
+			default:
+				resp = append(resp, statusMalformed)
+			}
+		}
+		if chm != nil && len(resp) > 0 && resp[0] != statusOK {
+			chm.rejects.Inc(0)
+		}
+		if err := ch.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (e *Engine) handleCreate(p *ringlwe.Params, chm *paramsMetrics, body, resp []byte) []byte {
+	if len(body) != TokenSize {
+		return append(resp, statusMalformed)
+	}
+	var token [TokenSize]byte
+	copy(token[:], body)
+	id := e.create(p, token, 0)
+	resp = append(resp, statusOK)
+	return binary.BigEndian.AppendUint64(resp, id)
+}
+
+func (e *Engine) handleSubmit(scheme *ringlwe.Scheme, scratch *ringlwe.Ciphertext, body, resp []byte) []byte {
+	if len(body) < streamIDSize+1 {
+		return append(resp, statusMalformed)
+	}
+	id := binary.BigEndian.Uint64(body[:streamIDSize])
+	st := e.lookup(id)
+	if st == nil {
+		return append(resp, statusUnknown)
+	}
+	blob := body[streamIDSize:]
+	kind, ok := ringlwe.WireKind(blob)
+	if !ok {
+		return append(resp, statusMalformed)
+	}
+	var err error
+	switch kind {
+	case ringlwe.KindCiphertext:
+		err = ringlwe.ParseCiphertextInto(scratch, blob)
+	case ringlwe.KindAggregate:
+		err = ringlwe.ParseAggregateInto(scratch, blob)
+	default:
+		return append(resp, statusMalformed)
+	}
+	switch {
+	case errors.Is(err, ringlwe.ErrParamsMismatch):
+		return append(resp, statusParams)
+	case errors.Is(err, ringlwe.ErrNoiseBudget):
+		return append(resp, statusBudget)
+	case err != nil:
+		return append(resp, statusMalformed)
+	}
+	depth, err := st.fold(scheme, scratch, e.metricShard(id))
+	if errors.Is(err, ringlwe.ErrNoiseBudget) {
+		return append(resp, statusBudget)
+	}
+	if err != nil {
+		// Cross-set folds cannot happen (the parse above pinned the set),
+		// so any other error is a malformed submission.
+		return append(resp, statusMalformed)
+	}
+	resp = append(resp, statusOK)
+	return binary.BigEndian.AppendUint64(resp, depth)
+}
+
+func (e *Engine) handleQuery(body, resp []byte) []byte {
+	st, status := e.authStream(body)
+	if status != statusOK {
+		return append(resp, status)
+	}
+	id := binary.BigEndian.Uint64(body[:streamIDSize])
+	blob, err := st.snapshot(e.metricShard(id))
+	if err != nil {
+		return append(resp, statusMalformed)
+	}
+	resp = append(resp, statusOK)
+	return append(resp, blob...)
+}
+
+func (e *Engine) handleReset(body, resp []byte) []byte {
+	st, status := e.authStream(body)
+	if status != statusOK {
+		return append(resp, status)
+	}
+	id := binary.BigEndian.Uint64(body[:streamIDSize])
+	released := st.reset(e.metricShard(id))
+	resp = append(resp, statusOK)
+	return binary.BigEndian.AppendUint64(resp, released)
+}
+
+// authStream resolves and authorizes a "stream ID ‖ token" request body.
+func (e *Engine) authStream(body []byte) (*stream, byte) {
+	if len(body) != streamIDSize+TokenSize {
+		return nil, statusMalformed
+	}
+	st := e.lookup(binary.BigEndian.Uint64(body[:streamIDSize]))
+	if st == nil {
+		return nil, statusUnknown
+	}
+	if !st.authorized(body[streamIDSize:]) {
+		return nil, statusAuth
+	}
+	return st, statusOK
+}
+
+// metricShard stripes a stream's metric writes the same way the stream
+// table stripes its locks, so concurrent submissions to different
+// streams hit different metric slots too.
+func (e *Engine) metricShard(id uint64) int {
+	return int(id % uint64(e.numShards))
+}

@@ -57,6 +57,13 @@ type Params struct {
 	lut1, lut2 []uint8
 	maxFailD   int
 
+	// maxAddends is the homomorphic-addition budget: the largest number of
+	// fresh-ciphertext noise units whose sum still decrypts with
+	// per-coefficient failure probability at most evalPerCoeffTarget under
+	// the Gaussian model of EstimateAggFailureRate. Computed once at
+	// construction; see MaxAddends.
+	maxAddends int
+
 	// samplerCfg shares the matrix and LUTs with the pluggable sampler
 	// subsystem; every workspace engine of this parameter set reads it.
 	samplerCfg *sampler.Config
@@ -90,13 +97,15 @@ func NewParams(name string, n int, q uint32, sNum, sDen int64, lambda int) (*Par
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Params{
+	p := &Params{
 		Name: name, N: n, Q: q,
 		SNum: sNum, SDen: sDen, Sigma: sigma,
 		Mod: mod, Tables: tables, Matrix: mat,
 		lut1: lut1, lut2: lut2, maxFailD: maxD,
 		samplerCfg: &sampler.Config{Matrix: mat, LUT1: lut1, LUT2: lut2, MaxFailD: maxD},
-	}, nil
+	}
+	p.maxAddends = computeMaxAddends(p)
+	return p, nil
 }
 
 // SamplerConfig returns the shared immutable state (matrix plus lookup
@@ -133,9 +142,57 @@ func (p *Params) EstimateFailureRate() (perCoeff, perMessage float64) {
 	return perCoeff, perMessage
 }
 
+// evalPerCoeffTarget is the per-coefficient decryption-failure probability a
+// full homomorphic aggregation is allowed to reach. It is deliberately looser
+// than a fresh ciphertext's rate: aggregation workloads tolerate occasional
+// bit flips (and detect gross over-aggregation via ErrNoiseBudget), whereas a
+// tighter target would leave P1/P2 with no additive headroom at all.
+const evalPerCoeffTarget = 1e-2
+
+// EstimateAggFailureRate generalizes EstimateFailureRate to the sum of
+// `units` fresh-ciphertext noise terms: each independent encryption
+// contributes e1·r1 + e2·r2 + e3 with per-coefficient variance 2nσ⁴ + σ², so
+// the aggregate noise has `units` times that variance and a coefficient
+// decodes wrongly when its magnitude exceeds q/4. units = 1 reproduces
+// EstimateFailureRate exactly.
+func (p *Params) EstimateAggFailureRate(units uint64) (perCoeff, perMessage float64) {
+	if units == 0 {
+		return 0, 0
+	}
+	variance := float64(units) * (2*float64(p.N)*math.Pow(p.Sigma, 4) + p.Sigma*p.Sigma)
+	std := math.Sqrt(variance)
+	t := float64(p.Q) / 4 / std
+	perCoeff = math.Erfc(t / math.Sqrt2) // two-sided tail
+	perMessage = 1 - math.Pow(1-perCoeff, float64(p.N))
+	return perCoeff, perMessage
+}
+
+// MaxAddends returns the additive noise budget of the parameter set: the
+// largest number of fresh-ciphertext noise units that may be folded into one
+// aggregate while keeping the per-coefficient failure probability at or below
+// 1e-2. The evaluation layer refuses (ErrNoiseBudget) to exceed it. The paper
+// sets P1 and P2 were not tuned for homomorphic depth and pin at 2; A1 trades
+// security margin for ~26 addends.
+func (p *Params) MaxAddends() int { return p.maxAddends }
+
+// computeMaxAddends walks the Gaussian tail model up from one addend until
+// the per-coefficient failure probability crosses evalPerCoeffTarget. Always
+// at least 1 (a fresh ciphertext must be decryptable) and capped at 65535 so
+// wire-format counts stay comfortably in range.
+func computeMaxAddends(p *Params) int {
+	k := 1
+	for k < 65535 {
+		if pc, _ := p.EstimateAggFailureRate(uint64(k + 1)); pc > evalPerCoeffTarget {
+			break
+		}
+		k++
+	}
+	return k
+}
+
 var (
-	p1Once, p2Once sync.Once
-	p1Set, p2Set   *Params
+	p1Once, p2Once, a1Once sync.Once
+	p1Set, p2Set, a1Set    *Params
 )
 
 // P1 returns the paper's medium-term security set (n=256, q=7681,
@@ -162,4 +219,21 @@ func P2() *Params {
 		p2Set = p
 	})
 	return p2Set
+}
+
+// A1 returns the aggregation-tuned set (n=256, q=12289, σ=8/√2π): P1's ring
+// dimension under P2's modulus with a narrower error distribution, giving
+// roughly 26 homomorphic addends of budget where the paper sets have 2. The
+// narrower σ reduces the concrete security margin relative to P1 — A1 is for
+// encrypted-aggregation workloads that need additive depth, not a drop-in P1
+// replacement. q = 12289 ≡ 1 (mod 512) keeps every NTT backend applicable.
+func A1() *Params {
+	a1Once.Do(func() {
+		p, err := NewParams("A1", 256, 12289, 800, 100, 90)
+		if err != nil {
+			panic(err)
+		}
+		a1Set = p
+	})
+	return a1Set
 }

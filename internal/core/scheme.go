@@ -28,6 +28,13 @@ type PrivateKey struct {
 type Ciphertext struct {
 	Params *Params
 	C1, C2 ntt.Poly
+
+	// Addends counts the fresh-ciphertext noise units accumulated in this
+	// ciphertext: 0 for the additive identity (a zeroed ciphertext), 1 for a
+	// fresh encryption or a parsed wire blob, and the sum (or scalar-scaled
+	// sum) of its inputs after evaluation ops. The evaluation layer refuses
+	// to push it past Params.MaxAddends — see ErrNoiseBudget.
+	Addends uint64
 }
 
 // NewCiphertext returns a zero ciphertext with preallocated polynomial

@@ -29,6 +29,8 @@ func paramTag(p *Params) (byte, error) {
 		return 1, nil
 	case p.N == 512 && p.Q == 12289:
 		return 2, nil
+	case p.N == 256 && p.Q == 12289:
+		return 3, nil
 	default:
 		// Custom sets serialize with tag 0; the caller must know the params.
 		return 0, nil
@@ -238,6 +240,10 @@ func ParseCiphertextBodyInto(ct *Ciphertext, body []byte) error {
 	if err := checkRange(p, ct.C1, ct.C2); err != nil {
 		return fmt.Errorf("core: ciphertext: %w", err)
 	}
+	// The ciphertext wire body carries no noise accounting; a parsed blob is
+	// assumed fresh. Aggregates travel with an explicit addend count and set
+	// this themselves.
+	ct.Addends = 1
 	return nil
 }
 
@@ -365,6 +371,7 @@ func ReadCiphertextBodyFrom(ct *Ciphertext, r io.Reader) (int64, error) {
 	if err != nil {
 		return n, fmt.Errorf("core: ciphertext: %w", err)
 	}
+	ct.Addends = 1 // streamed bodies are fresh, like ParseCiphertextBodyInto
 	return n, nil
 }
 

@@ -211,6 +211,7 @@ func (w *Workspace) EncryptInto(ct *Ciphertext, pk *PublicKey, msg []byte) error
 	t.Add(ct.C1, ct.C1, w.e2) // c̃1 = ã∘ẽ1 + ẽ2
 	eng.PointwiseMul(ct.C2, pk.P, w.e1)
 	t.Add(ct.C2, ct.C2, w.e3) // c̃2 = p̃∘ẽ1 + NTT(e3+m̄)
+	ct.Addends = 1            // fresh encryption: one noise unit
 	w.flushStats()
 	return nil
 }

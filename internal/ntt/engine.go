@@ -45,6 +45,16 @@ type Engine interface {
 	// PointwiseMulAdd sets acc += a ∘ b.
 	PointwiseMulAdd(acc, a, b Poly)
 
+	// Add sets c = a + b coefficient-wise; aliasing is allowed. Because
+	// the NTT is linear, adding transform-domain polynomials adds the
+	// underlying ring elements — the homomorphic-evaluation hot path.
+	Add(c, a, b Poly)
+	// Sub sets c = a - b coefficient-wise; aliasing is allowed.
+	Sub(c, a, b Poly)
+	// ScalarMul sets c = s·a for a scalar s (reduced mod q); aliasing of
+	// c and a is allowed.
+	ScalarMul(c, a Poly, s uint32)
+
 	// ForwardInto sets dst = NTT(src) without modifying src (dst may alias src).
 	ForwardInto(dst, src Poly)
 	// InverseInto sets dst = INTT(src) without modifying src (dst may alias src).
@@ -126,8 +136,11 @@ func (e *barrettEngine) PointwiseMul(c, a, b Poly) { e.t.PointwiseMul(c, a, b) }
 func (e *barrettEngine) PointwiseMulAdd(acc, a, b Poly) {
 	e.t.PointwiseMulAdd(acc, a, b)
 }
-func (e *barrettEngine) ForwardInto(dst, src Poly) { e.t.ForwardInto(dst, src) }
-func (e *barrettEngine) InverseInto(dst, src Poly) { e.t.InverseInto(dst, src) }
+func (e *barrettEngine) Add(c, a, b Poly)              { e.t.Add(c, a, b) }
+func (e *barrettEngine) Sub(c, a, b Poly)              { e.t.Sub(c, a, b) }
+func (e *barrettEngine) ScalarMul(c, a Poly, s uint32) { e.t.ScalarMul(c, a, s) }
+func (e *barrettEngine) ForwardInto(dst, src Poly)     { e.t.ForwardInto(dst, src) }
+func (e *barrettEngine) InverseInto(dst, src Poly)     { e.t.InverseInto(dst, src) }
 func (e *barrettEngine) MulInto(dst, a, b, scratch Poly) {
 	e.t.MulInto(dst, a, b, scratch)
 }
@@ -192,6 +205,9 @@ func (e *packedEngine) PointwiseMul(c, a, b Poly) { e.t.PointwiseMul(c, a, b) }
 func (e *packedEngine) PointwiseMulAdd(acc, a, b Poly) {
 	e.t.PointwiseMulAdd(acc, a, b)
 }
+func (e *packedEngine) Add(c, a, b Poly)              { e.t.Add(c, a, b) }
+func (e *packedEngine) Sub(c, a, b Poly)              { e.t.Sub(c, a, b) }
+func (e *packedEngine) ScalarMul(c, a Poly, s uint32) { e.t.ScalarMul(c, a, s) }
 
 func (e *packedEngine) ForwardInto(dst, src Poly) {
 	prepInto(e.t, dst, src, "ForwardInto")

@@ -241,6 +241,25 @@ func (t *Tables) Sub(c, a, b Poly) {
 	}
 }
 
+// ScalarMul sets c = s·a, every coefficient multiplied by the same scalar
+// s (reduced mod q first). The scalar's Shoup companion is computed once
+// per call and amortized over the n products, so the loop runs the same
+// one-high-product multiply as the twiddle butterflies instead of a
+// Barrett chain per coefficient.
+func (t *Tables) ScalarMul(c, a Poly, s uint32) {
+	if len(a) != t.N || len(c) != t.N {
+		panic("ntt: ScalarMul length mismatch")
+	}
+	m := t.M
+	if s >= m.Q {
+		s %= m.Q
+	}
+	sh := m.Shoup(s)
+	for i := range c {
+		c[i] = m.MulShoup(a[i], s, sh)
+	}
+}
+
 // Mul returns a·b in Z_q[x]/(x^n+1) via the full NTT pipeline (two forward
 // transforms, a pointwise product and one inverse transform). The inputs are
 // in natural coefficient order and are not modified.

@@ -291,6 +291,59 @@ func (e *ShoupEngine) PointwiseMulAdd(acc, a, b Poly) {
 	}
 }
 
+// Add implements Engine: c = a + b with a single conditional subtraction
+// per coefficient — the sum of two canonical residues is below 2q, so no
+// reduction chain is needed.
+func (e *ShoupEngine) Add(c, a, b Poly) {
+	n := e.t.N
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("ntt: Add length mismatch")
+	}
+	q := e.q
+	for i := range c {
+		s := a[i] + b[i]
+		if s >= q {
+			s -= q
+		}
+		c[i] = s
+	}
+}
+
+// Sub implements Engine: c = a - b via the add-q trick, one conditional
+// subtraction per coefficient.
+func (e *ShoupEngine) Sub(c, a, b Poly) {
+	n := e.t.N
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("ntt: Sub length mismatch")
+	}
+	q := e.q
+	for i := range c {
+		d := a[i] + q - b[i]
+		if d >= q {
+			d -= q
+		}
+		c[i] = d
+	}
+}
+
+// ScalarMul implements Engine: c = s·a through one Shoup companion
+// computed per call and amortized over all n products, exactly like a
+// twiddle multiply — no Barrett chain in the loop.
+func (e *ShoupEngine) ScalarMul(c, a Poly, s uint32) {
+	n := e.t.N
+	if len(a) != n || len(c) != n {
+		panic("ntt: ScalarMul length mismatch")
+	}
+	m := e.t.M
+	if s >= e.q {
+		s %= e.q
+	}
+	sh := m.Shoup(s)
+	for i := range c {
+		c[i] = m.MulShoup(a[i], s, sh)
+	}
+}
+
 // ForwardInto implements Engine.
 func (e *ShoupEngine) ForwardInto(dst, src Poly) {
 	prepInto(e.t, dst, src, "ForwardInto")

@@ -426,6 +426,51 @@ func (e *VectorEngine) PointwiseMulAdd(acc, a, b Poly) {
 	}
 }
 
+// Add implements Engine: branchless per-coefficient add — a straight-line
+// loop of the form the compiler's auto-vectorizer (and any future lane
+// kernel behind the vector seam) handles well.
+func (e *VectorEngine) Add(c, a, b Poly) {
+	n := e.t.N
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("ntt: Add length mismatch")
+	}
+	q := e.q
+	for i := range c {
+		c[i] = zq.CondSub(a[i]+b[i], q)
+	}
+}
+
+// Sub implements Engine: branchless per-coefficient subtract via the
+// add-q trick.
+func (e *VectorEngine) Sub(c, a, b Poly) {
+	n := e.t.N
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("ntt: Sub length mismatch")
+	}
+	q := e.q
+	for i := range c {
+		c[i] = zq.CondSub(a[i]+q-b[i], q)
+	}
+}
+
+// ScalarMul implements Engine: one Shoup companion per call, branchless
+// lazy products folded canonical on the way out.
+func (e *VectorEngine) ScalarMul(c, a Poly, s uint32) {
+	n := e.t.N
+	if len(a) != n || len(c) != n {
+		panic("ntt: ScalarMul length mismatch")
+	}
+	m := e.t.M
+	q := e.q
+	if s >= q {
+		s %= q
+	}
+	sh := m.Shoup(s)
+	for i := range c {
+		c[i] = zq.CondSub(m.MulShoupLazy(a[i], s, sh), q)
+	}
+}
+
 // ForwardInto implements Engine.
 func (e *VectorEngine) ForwardInto(dst, src Poly) {
 	prepInto(e.t, dst, src, "ForwardInto")

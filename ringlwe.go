@@ -60,6 +60,13 @@ func P1() *Params { return &Params{inner: core.P1()} }
 // σ=12.18/√2π).
 func P2() *Params { return &Params{inner: core.P2()} }
 
+// A1 returns the aggregation-tuned set (n=256, q=12289, σ=8/√2π): P1's ring
+// dimension under P2's modulus with a narrower error distribution, trading
+// security margin for homomorphic-addition depth — MaxAddends is ~26 where
+// the paper sets afford 2. Use it for encrypted-aggregation workloads (see
+// Evaluator); prefer P1/P2 for plain encryption.
+func A1() *Params { return &Params{inner: core.A1()} }
+
 // Custom builds a non-standard parameter set: n must be a power of two
 // multiple of 8, q a prime with q ≡ 1 (mod 2n), and sNum/sDen the Gaussian
 // parameter s = σ√(2π) as a rational. Intended for experiments; the two
@@ -105,4 +112,18 @@ func (p *Params) PrivateKeySize() int { return 1 + p.inner.PolyBytes() }
 // (per-coefficient, per-message).
 func (p *Params) FailureRate() (perBit, perMessage float64) {
 	return p.inner.EstimateFailureRate()
+}
+
+// MaxAddends returns the additive noise budget: the largest number of
+// fresh-ciphertext noise units that may be homomorphically summed while the
+// aggregate still decrypts within the modeled 1e-2 per-bit failure target.
+// The evaluation layer returns ErrNoiseBudget rather than exceed it. P1 and
+// P2 pin at 2; the aggregation-tuned A1 at 26.
+func (p *Params) MaxAddends() int { return p.inner.MaxAddends() }
+
+// AggFailureRate returns the analytic decryption-failure estimate for an
+// aggregate carrying the given number of noise units (per-bit, per-message);
+// units = 1 is FailureRate.
+func (p *Params) AggFailureRate(units uint64) (perBit, perMessage float64) {
+	return p.inner.EstimateAggFailureRate(units)
 }

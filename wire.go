@@ -17,9 +17,9 @@ import (
 //	offset 0–1  magic "RL"
 //	offset 2    format version (currently 2)
 //	offset 3    object kind (public key, private key, ciphertext,
-//	            encapsulated key)
-//	offset 4–5  registered parameter-set ID, big-endian (1 = P1, 2 = P2;
-//	            Custom sets claim an ID via RegisterParams)
+//	            encapsulated key, aggregate ciphertext)
+//	offset 4–5  registered parameter-set ID, big-endian (1 = P1, 2 = P2,
+//	            3 = A1; Custom sets claim an ID via RegisterParams)
 //	offset 6–   the packed-coefficient body of the legacy format
 //
 // so a receiver recovers the parameter set from the blob itself
@@ -46,17 +46,40 @@ const (
 	wireKindPrivateKey      = 2
 	wireKindCiphertext      = 3
 	wireKindEncapsulatedKey = 4
+	wireKindAggregate       = 5
 )
+
+// Exported wire-kind constants mirror the header's kind byte so protocol
+// layers can dispatch on WireKind without parsing the whole blob.
+const (
+	KindPublicKey       byte = wireKindPublicKey
+	KindPrivateKey      byte = wireKindPrivateKey
+	KindCiphertext      byte = wireKindCiphertext
+	KindEncapsulatedKey byte = wireKindEncapsulatedKey
+	KindAggregate       byte = wireKindAggregate
+)
+
+// WireKind peeks at a self-describing blob's kind byte. ok is false when the
+// blob is too short or does not open with this package's magic and version;
+// it says nothing about whether the body parses.
+func WireKind(data []byte) (kind byte, ok bool) {
+	if len(data) < wireHeaderSize || data[0] != wireMagic0 || data[1] != wireMagic1 || data[2] != wireVersion {
+		return 0, false
+	}
+	return data[3], true
+}
 
 // ErrUnknownParams reports a self-describing blob whose header carries a
 // parameter-set ID no call to RegisterParams (and neither built-in set)
 // has claimed. Test with errors.Is.
 var ErrUnknownParams = errors.New("ringlwe: unregistered parameter-set ID")
 
-// wireIDP1 and wireIDP2 are the pre-registered IDs of the standard sets.
+// wireIDP1, wireIDP2 and wireIDA1 are the pre-registered IDs of the
+// built-in sets.
 const (
 	wireIDP1 uint16 = 1
 	wireIDP2 uint16 = 2
+	wireIDA1 uint16 = 3
 )
 
 // paramsRegistry maps registered wire IDs to parameter sets. The standard
@@ -73,14 +96,15 @@ func registryInit() {
 		paramsRegistry.byID = map[uint16]*Params{
 			wireIDP1: P1(),
 			wireIDP2: P2(),
+			wireIDA1: A1(),
 		}
 	})
 }
 
 // RegisterParams claims wire ID id for the parameter set p, making blobs
 // of that set self-describing: after registration, MarshalBinary embeds id
-// and the ParseAny functions recover p from it. IDs 1 and 2 are the
-// built-in P1 and P2; Custom sets must pick a nonzero ID of their own.
+// and the ParseAny functions recover p from it. IDs 1–3 are the built-in
+// P1, P2 and A1; Custom sets must pick a nonzero ID of their own.
 // Registering the same (id, params) pair again is a no-op; claiming an ID
 // already bound to a different set, or registering one set under two IDs,
 // is an error.
@@ -157,6 +181,8 @@ func kindName(kind byte) string {
 		return "ciphertext"
 	case wireKindEncapsulatedKey:
 		return "encapsulated key"
+	case wireKindAggregate:
+		return "aggregate ciphertext"
 	}
 	return "object"
 }
