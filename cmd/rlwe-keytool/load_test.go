@@ -8,9 +8,16 @@ import (
 )
 
 // The load helpers auto-detect self-describing blobs and fall back to the
-// -params set for legacy ones, for both parameter sets.
+// -params set for legacy ones, for every built-in parameter set —
+// including the RNS set B1, whose residue-row blobs carry the same
+// self-describing header.
 func TestLoadAutoDetect(t *testing.T) {
-	for seed, p := range map[uint64]*ringlwe.Params{501: ringlwe.P1(), 502: ringlwe.P2()} {
+	for seed, p := range map[uint64]*ringlwe.Params{
+		501: ringlwe.P1(),
+		502: ringlwe.P2(),
+		503: ringlwe.A1(),
+		504: ringlwe.B1(),
+	} {
 		s := ringlwe.NewDeterministic(p, seed)
 		pk, sk, err := s.GenerateKeys()
 		if err != nil {
@@ -82,7 +89,58 @@ func TestLookupParams(t *testing.T) {
 	if p, err := lookupParams("p2"); err != nil || p.Name() != "P2" {
 		t.Fatalf("case-insensitive lookup failed: %v, %v", p, err)
 	}
+	if p, err := lookupParams("b1"); err != nil || p.Name() != "B1" || !p.IsRNS() {
+		t.Fatalf("B1 lookup failed: %v, %v", p, err)
+	}
+	if p, err := lookupParams("A1"); err != nil || p.Name() != "A1" {
+		t.Fatalf("A1 lookup failed: %v, %v", p, err)
+	}
 	if _, err := lookupParams("P9"); err == nil {
 		t.Fatal("unknown set accepted")
+	}
+}
+
+// A full keytool-style round trip under B1: frame a message into the
+// 128-byte RNS plaintext, encrypt, re-parse the ciphertext blob with no
+// fallback (auto-detect), decrypt and unframe. This is the path the
+// encrypt/decrypt subcommands take when the keys were generated with
+// -params B1.
+func TestB1KeytoolRoundTrip(t *testing.T) {
+	p := ringlwe.B1()
+	s := ringlwe.NewDeterministic(p, 505)
+	pk, sk, err := s.GenerateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("rns"), 42) // 126 bytes, near the 127-byte cap
+	framed, err := frame(msg, p.MessageSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.Encrypt(pk, framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ct.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadCiphertext(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params().Name() != "B1" {
+		t.Fatalf("auto-detected params %s, want B1", got.Params().Name())
+	}
+	dec, err := sk.Decrypt(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := unframe(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, msg) {
+		t.Fatal("B1 keytool round trip corrupted the message")
 	}
 }

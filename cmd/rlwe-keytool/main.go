@@ -14,9 +14,10 @@
 // older versions of this tool) are still accepted when -params names
 // their set.
 //
-// Messages must be at most MessageSize-1 bytes (31 for P1, 63 for P2);
-// the encrypt command zero-pads shorter inputs and records the true
-// length in the first byte, so round trips preserve content.
+// Messages must be at most MessageSize-1 bytes (31 for P1/A1, 63 for
+// P2, 127 for B1); the encrypt command zero-pads shorter inputs and
+// records the true length in the first byte, so round trips preserve
+// content.
 package main
 
 import (
@@ -35,7 +36,7 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	paramsName := fs.String("params", "", "parameter set P1 or P2 (keygen: default P1; encrypt/decrypt: only needed for legacy-format files)")
+	paramsName := fs.String("params", "", "parameter set P1, P2, A1 or B1 (keygen: default P1; encrypt/decrypt: only needed for legacy-format files)")
 	pubPath := fs.String("pub", "", "public key file (hex)")
 	privPath := fs.String("priv", "", "private key file (hex)")
 	inPath := fs.String("in", "", "input file")
@@ -144,8 +145,12 @@ func lookupParams(name string) (*ringlwe.Params, error) {
 		return ringlwe.P1(), nil
 	case "P2":
 		return ringlwe.P2(), nil
+	case "A1":
+		return ringlwe.A1(), nil
+	case "B1":
+		return ringlwe.B1(), nil
 	}
-	return nil, fmt.Errorf("unknown parameter set %q (have P1, P2)", name)
+	return nil, fmt.Errorf("unknown parameter set %q (have P1, P2, A1, B1)", name)
 }
 
 // selfDescribing reports whether data opens with the wire-format magic;
@@ -156,7 +161,7 @@ func selfDescribing(data []byte) bool {
 
 // errNeedParams explains how to read a legacy file.
 func errNeedParams(what string) error {
-	return fmt.Errorf("%s is in the legacy format; pass -params P1|P2 to identify its parameter set", what)
+	return fmt.Errorf("%s is in the legacy format; pass -params P1|P2|A1|B1 to identify its parameter set", what)
 }
 
 // loadPublicKey parses a public key in either format: self-describing
@@ -248,7 +253,7 @@ func fatal(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rlwe-keytool keygen  -params P1|P2 -pub FILE -priv FILE
+  rlwe-keytool keygen  -params P1|P2|A1|B1 -pub FILE -priv FILE
   rlwe-keytool encrypt -pub FILE -in FILE -out FILE
   rlwe-keytool decrypt -priv FILE -in FILE -out FILE
 

@@ -62,7 +62,8 @@ func FuzzParsePublicKey(f *testing.F) {
 func FuzzParseAny(f *testing.F) {
 	s1 := NewDeterministic(P1(), 9004)
 	s2 := NewDeterministic(P2(), 9005)
-	for _, s := range []*Scheme{s1, s2} {
+	s3 := NewDeterministic(B1(), 9008) // RNS: multi-row residue bodies
+	for _, s := range []*Scheme{s1, s2, s3} {
 		pk, sk, err := s.GenerateKeys()
 		if err != nil {
 			f.Fatal(err)
@@ -81,6 +82,14 @@ func FuzzParseAny(f *testing.F) {
 			f.Add(blob)
 			f.Add(blob[:4])           // header truncation
 			f.Add(append(blob, 0xAA)) // trailing byte
+			// Cross-set ID confusion: the same body under another set's
+			// ID must fail the body-length check, never mis-decode.
+			crossID := append([]byte(nil), blob...)
+			crossID[4], crossID[5] = 0, byte(wireIDP1)
+			if s == s1 {
+				crossID[5] = byte(wireIDB1)
+			}
+			f.Add(crossID)
 		}
 		blob, _, err := s.Encapsulate(pk)
 		if err != nil {
@@ -131,8 +140,9 @@ func FuzzParseAny(f *testing.F) {
 func FuzzEvalWire(f *testing.F) {
 	a1 := NewDeterministic(A1(), 9006)
 	p1 := NewDeterministic(P1(), 9007)
+	b1 := NewDeterministic(B1(), 9009) // RNS: 8-byte addend counts actually in budget
 	pinned := NewCiphertext(A1())
-	for _, s := range []*Scheme{a1, p1} {
+	for _, s := range []*Scheme{a1, p1, b1} {
 		p := s.Params()
 		pk, sk, err := s.GenerateKeys()
 		if err != nil {
@@ -166,6 +176,12 @@ func FuzzEvalWire(f *testing.F) {
 		confused := append([]byte(nil), blob...)
 		confused[3] = KindEncapsulatedKey // kind confusion the other way
 		f.Add(confused)
+		crossID := append([]byte(nil), blob...)
+		crossID[4], crossID[5] = 0, byte(wireIDB1) // cross-set ID: body length mismatch
+		if s == b1 {
+			crossID[5] = byte(wireIDA1)
+		}
+		f.Add(crossID)
 		skBlob, err := sk.MarshalBinary()
 		if err != nil {
 			f.Fatal(err)

@@ -21,6 +21,11 @@ func EncodeConstantTime(p *Params, msg []byte) (ntt.Poly, error) {
 	if len(msg) != p.MessageBytes() {
 		return nil, errMessageSize(p, len(msg))
 	}
+	if p.IsRNS() {
+		out := p.newPoly()
+		rnsAddEncodedConstantTime(p, out, msg)
+		return out, nil
+	}
 	half := p.Q / 2
 	out := make(ntt.Poly, p.N)
 	for i := 0; i < p.N; i++ {
@@ -43,6 +48,12 @@ func DecodeConstantTime(p *Params, m ntt.Poly) []byte {
 // profile's workspaces run, so the hardened decrypt path stays at zero
 // allocations like the branching one.
 func DecodeConstantTimeInto(dst []byte, p *Params, m ntt.Poly) {
+	if p.IsRNS() {
+		// The RNS decoder's borrow-based threshold test is already
+		// branchless; one decoder serves both profiles.
+		rnsDecodeInto(dst, p, m)
+		return
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -65,6 +76,10 @@ func DecodeConstantTimeInto(dst []byte, p *Params, m ntt.Poly) {
 // reduction done by borrow extraction instead of a comparison, so no
 // plaintext bit steers a branch or a memory index.
 func AddEncodedConstantTime(p *Params, dst ntt.Poly, msg []byte) {
+	if p.IsRNS() {
+		rnsAddEncodedConstantTime(p, dst, msg)
+		return
+	}
 	half := p.Q / 2
 	q := uint64(p.Q)
 	for i := 0; i < p.N; i++ {

@@ -56,6 +56,13 @@ func (s *Scheme) EvalAddInto(dst, a, b *Ciphertext) error {
 	if units > uint64(s.Params.maxAddends) {
 		return ErrNoiseBudget
 	}
+	if s.Params.IsRNS() {
+		if err := s.rnsEvalAddInto(dst, a, b); err != nil {
+			return err
+		}
+		dst.Addends = units
+		return nil
+	}
 	s.eng.Add(dst.C1, a.C1, b.C1)
 	s.eng.Add(dst.C2, a.C2, b.C2)
 	dst.Addends = units
@@ -73,6 +80,13 @@ func (s *Scheme) EvalSubInto(dst, a, b *Ciphertext) error {
 	if units > uint64(s.Params.maxAddends) {
 		return ErrNoiseBudget
 	}
+	if s.Params.IsRNS() {
+		if err := s.rnsEvalSubInto(dst, a, b); err != nil {
+			return err
+		}
+		dst.Addends = units
+		return nil
+	}
 	s.eng.Sub(dst.C1, a.C1, b.C1)
 	s.eng.Sub(dst.C2, a.C2, b.C2)
 	dst.Addends = units
@@ -88,6 +102,9 @@ func (s *Scheme) EvalSubInto(dst, a, b *Ciphertext) error {
 func (s *Scheme) EvalScalarMulInto(dst, a *Ciphertext, k uint32) error {
 	if err := s.checkEvalArgs(dst, a); err != nil {
 		return err
+	}
+	if s.Params.IsRNS() {
+		return s.rnsEvalScalarMulInto(dst, a, k)
 	}
 	q := s.Params.Q
 	kr := k % q

@@ -29,6 +29,7 @@ import (
 	"ringlwe/internal/gauss"
 	"ringlwe/internal/ntt"
 	"ringlwe/internal/rng"
+	"ringlwe/internal/rns"
 	"ringlwe/internal/sampler"
 	"ringlwe/internal/zq"
 )
@@ -53,6 +54,17 @@ type Params struct {
 	Mod    *zq.Modulus
 	Tables *ntt.Tables
 	Matrix *gauss.Matrix
+
+	// Basis is the multi-modulus RNS decomposition, nil for the
+	// single-modulus sets. When set, Q is 0 and Mod/Tables are nil: the
+	// composite modulus and its per-channel precomputation live in the
+	// basis, and every code path dispatches on IsRNS (see rns.go).
+	Basis *rns.Basis
+
+	// qFloat is the modulus as a float64 for the Gaussian noise model —
+	// float64(Q) for single-modulus sets, the composite q for RNS sets
+	// (which overflows uint32 by design).
+	qFloat float64
 
 	lut1, lut2 []uint8
 	maxFailD   int
@@ -83,6 +95,21 @@ func NewParams(name string, n int, q uint32, sNum, sDen int64, lambda int) (*Par
 	if n%8 != 0 {
 		return nil, fmt.Errorf("core: ring dimension %d must be a multiple of 8 for byte packing", n)
 	}
+	p, err := newGaussParams(name, n, sNum, sDen, lambda)
+	if err != nil {
+		return nil, err
+	}
+	p.Q, p.Mod, p.Tables = q, mod, tables
+	p.qFloat = float64(q)
+	p.maxAddends = computeMaxAddends(p)
+	return p, nil
+}
+
+// newGaussParams builds the modulus-independent half of a parameter set:
+// the error distribution's probability matrix and sampler lookup tables
+// (they depend only on σ). NewParams and NewRNSParams attach their
+// modulus machinery on top.
+func newGaussParams(name string, n int, sNum, sDen int64, lambda int) (*Params, error) {
 	sigma := (float64(sNum) / float64(sDen)) / math.Sqrt(2*math.Pi)
 	rows, cols := gauss.Size(sigma, lambda)
 	mat, err := gauss.NewMatrixFromS(sNum, sDen, rows, cols)
@@ -97,15 +124,13 @@ func NewParams(name string, n int, q uint32, sNum, sDen int64, lambda int) (*Par
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	p := &Params{
-		Name: name, N: n, Q: q,
+	return &Params{
+		Name: name, N: n,
 		SNum: sNum, SDen: sDen, Sigma: sigma,
-		Mod: mod, Tables: tables, Matrix: mat,
-		lut1: lut1, lut2: lut2, maxFailD: maxD,
+		Matrix: mat,
+		lut1:   lut1, lut2: lut2, maxFailD: maxD,
 		samplerCfg: &sampler.Config{Matrix: mat, LUT1: lut1, LUT2: lut2, MaxFailD: maxD},
-	}
-	p.maxAddends = computeMaxAddends(p)
-	return p, nil
+	}, nil
 }
 
 // SamplerConfig returns the shared immutable state (matrix plus lookup
@@ -120,11 +145,32 @@ func (p *Params) NewSampler(src rng.Source) (*gauss.Sampler, error) {
 }
 
 // CoeffBits returns the serialized width of one coefficient (13 for P1, 14
-// for P2).
-func (p *Params) CoeffBits() uint { return p.Mod.BitLen() }
+// for P2). For RNS sets it is the width of the widest residue row — rows
+// serialize at their own channel widths; see PolyBytes.
+func (p *Params) CoeffBits() uint {
+	if p.Basis != nil {
+		w := uint(0)
+		for _, m := range p.Basis.Mods {
+			w = max(w, m.BitLen())
+		}
+		return w
+	}
+	return p.Mod.BitLen()
+}
 
-// PolyBytes returns the serialized size of one polynomial.
-func (p *Params) PolyBytes() int { return (p.N*int(p.CoeffBits()) + 7) / 8 }
+// PolyBytes returns the serialized size of one polynomial: the packed body
+// for single-modulus sets, or the concatenation of the byte-aligned
+// per-channel residue rows for RNS sets.
+func (p *Params) PolyBytes() int {
+	if p.Basis != nil {
+		total := 0
+		for i := 0; i < p.Basis.K; i++ {
+			total += p.rowBytes(i)
+		}
+		return total
+	}
+	return (p.N*int(p.CoeffBits()) + 7) / 8
+}
 
 // MessageBytes returns the plaintext size: one bit per ring coefficient.
 func (p *Params) MessageBytes() int { return p.N / 8 }
@@ -136,7 +182,7 @@ func (p *Params) MessageBytes() int { return p.N / 8 }
 func (p *Params) EstimateFailureRate() (perCoeff, perMessage float64) {
 	variance := 2*float64(p.N)*math.Pow(p.Sigma, 4) + p.Sigma*p.Sigma
 	std := math.Sqrt(variance)
-	t := float64(p.Q) / 4 / std
+	t := p.qFloat / 4 / std
 	perCoeff = math.Erfc(t / math.Sqrt2) // two-sided tail
 	perMessage = 1 - math.Pow(1-perCoeff, float64(p.N))
 	return perCoeff, perMessage
@@ -161,7 +207,7 @@ func (p *Params) EstimateAggFailureRate(units uint64) (perCoeff, perMessage floa
 	}
 	variance := float64(units) * (2*float64(p.N)*math.Pow(p.Sigma, 4) + p.Sigma*p.Sigma)
 	std := math.Sqrt(variance)
-	t := float64(p.Q) / 4 / std
+	t := p.qFloat / 4 / std
 	perCoeff = math.Erfc(t / math.Sqrt2) // two-sided tail
 	perMessage = 1 - math.Pow(1-perCoeff, float64(p.N))
 	return perCoeff, perMessage
@@ -191,8 +237,8 @@ func computeMaxAddends(p *Params) int {
 }
 
 var (
-	p1Once, p2Once, a1Once sync.Once
-	p1Set, p2Set, a1Set    *Params
+	p1Once, p2Once, a1Once, b1Once sync.Once
+	p1Set, p2Set, a1Set, b1Set     *Params
 )
 
 // P1 returns the paper's medium-term security set (n=256, q=7681,
@@ -236,4 +282,27 @@ func A1() *Params {
 		a1Set = p
 	})
 	return a1Set
+}
+
+// B1Moduli are the residue primes of the B1 basis: three 29-bit primes,
+// each ≡ 1 (mod 2048) so the degree-1024 negacyclic NTT exists per
+// channel, and each below the 2²⁹ vector-engine gate (4q ≤ 2³¹) so every
+// channel can run the fastest backend. Composite q ≈ 2⁸⁷.
+var B1Moduli = []uint32{536856577, 536823809, 536819713}
+
+// B1 returns the big-parameter RNS set (n=1024, k=3 residue channels,
+// ~87-bit composite q, σ = P1's 11.31/√2π): the large-modulus tier for
+// deep encrypted aggregation. The enormous q/4 decoding margin pushes
+// MaxAddends to the 65535 wire-format cap — thousands of homomorphic
+// addends where A1 has 26 — and n=1024 keeps the concrete security of the
+// larger ring despite the much bigger modulus.
+func B1() *Params {
+	b1Once.Do(func() {
+		p, err := NewRNSParams("B1", 1024, B1Moduli, 1131, 100, 90)
+		if err != nil {
+			panic(err)
+		}
+		b1Set = p
+	})
+	return b1Set
 }

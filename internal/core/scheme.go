@@ -40,7 +40,7 @@ type Ciphertext struct {
 // NewCiphertext returns a zero ciphertext with preallocated polynomial
 // buffers, suitable as the destination of Workspace.EncryptInto.
 func NewCiphertext(p *Params) *Ciphertext {
-	return &Ciphertext{Params: p, C1: make(ntt.Poly, p.N), C2: make(ntt.Poly, p.N)}
+	return &Ciphertext{Params: p, C1: p.newPoly(), C2: p.newPoly()}
 }
 
 // aggStats accumulates sampler counters across every workspace of a Scheme.
@@ -65,7 +65,13 @@ type Scheme struct {
 	// eng is the NTT backend every transform of this scheme runs through.
 	// All registered engines produce bit-identical results (the KATs hold
 	// under any of them); they differ in speed and allocation behaviour.
+	// nil for RNS parameter sets, which run through engs instead.
 	eng ntt.Engine
+
+	// engs holds one engine per residue channel for RNS parameter sets
+	// (resolved through the basis, shared immutably by every workspace's
+	// Runner); nil for single-modulus sets.
+	engs []ntt.Engine
 
 	// smp is the registry name of the Gaussian sampler backend every
 	// workspace of this scheme instantiates. Unlike the NTT engines,
@@ -143,13 +149,25 @@ type Options struct {
 // was forced via the RLWE_FORCE_* environment knobs, in which case the
 // construction error surfaces. Explicit names always fail loudly.
 func NewWithOptions(params *Params, src rng.Source, opts Options) (*Scheme, error) {
-	engName, engAuto := opts.Engine, false
-	if engName == "" || engName == "auto" {
-		engName, engAuto = cpu.BestNTTEngine(), true
-	}
-	eng, err := ntt.NewEngine(engName, params.Tables)
-	if err != nil && engAuto && !cpu.EngineForced() {
-		eng, err = ntt.NewEngine(ntt.DefaultEngine, params.Tables)
+	var (
+		eng  ntt.Engine
+		engs []ntt.Engine
+		err  error
+	)
+	if params.IsRNS() {
+		// Per-channel resolution with the same auto-fallback semantics,
+		// implemented by the basis (and cached there, so every scheme over
+		// one basis shares engine instances).
+		engs, err = params.Basis.ResolveEngines(opts.Engine)
+	} else {
+		engName, engAuto := opts.Engine, false
+		if engName == "" || engName == "auto" {
+			engName, engAuto = cpu.BestNTTEngine(), true
+		}
+		eng, err = ntt.NewEngine(engName, params.Tables)
+		if err != nil && engAuto && !cpu.EngineForced() {
+			eng, err = ntt.NewEngine(ntt.DefaultEngine, params.Tables)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -161,6 +179,7 @@ func NewWithOptions(params *Params, src rng.Source, opts Options) (*Scheme, erro
 	s := &Scheme{
 		Params:   params,
 		eng:      eng,
+		engs:     engs,
 		smp:      smpName,
 		ctDecode: opts.ConstantTimeDecode,
 		src:      rng.NewLockedSource(src),
@@ -185,8 +204,14 @@ func NewWithOptions(params *Params, src rng.Source, opts Options) (*Scheme, erro
 	return s, nil
 }
 
-// Engine returns the registry name of the NTT backend this scheme runs on.
-func (s *Scheme) Engine() string { return s.eng.Name() }
+// Engine returns the registry name of the NTT backend this scheme runs on
+// (for RNS sets, the backend shared by every residue channel).
+func (s *Scheme) Engine() string {
+	if s.engs != nil {
+		return s.engs[0].Name()
+	}
+	return s.eng.Name()
+}
 
 // Sampler returns the registry name of the Gaussian sampler backend this
 // scheme's workspaces draw error polynomials from.
@@ -236,6 +261,9 @@ func (s *Scheme) GenerateKeysShared(a ntt.Poly) (*PublicKey, *PrivateKey, error)
 // Encode maps a message of MessageBytes bytes to the polynomial m̄ whose
 // coefficient i is ⌊q/2⌋·bit_i (bit i = bit i%8 of byte i/8).
 func Encode(p *Params, msg []byte) (ntt.Poly, error) {
+	if p.IsRNS() {
+		return rnsEncode(p, msg)
+	}
 	if len(msg) != p.MessageBytes() {
 		return nil, fmt.Errorf("core: message is %d bytes, want %d", len(msg), p.MessageBytes())
 	}
@@ -259,6 +287,10 @@ func Decode(p *Params, m ntt.Poly) []byte {
 
 // DecodeInto is Decode writing into a caller-owned MessageBytes buffer.
 func DecodeInto(dst []byte, p *Params, m ntt.Poly) {
+	if p.IsRNS() {
+		rnsDecodeInto(dst, p, m)
+		return
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -294,6 +326,9 @@ func (sk *PrivateKey) DecryptToPoly(ct *Ciphertext) (ntt.Poly, error) {
 	p := sk.Params
 	if ct.Params != p {
 		return nil, errors.New("core: ciphertext parameter set mismatch")
+	}
+	if p.IsRNS() {
+		return rnsDecryptToPoly(sk, ct)
 	}
 	t := p.Tables
 	m := make(ntt.Poly, p.N)

@@ -31,10 +31,27 @@ func paramTag(p *Params) (byte, error) {
 		return 2, nil
 	case p.N == 256 && p.Q == 12289:
 		return 3, nil
+	case p.IsRNS() && p.N == 1024 && isB1Moduli(p.Basis.Moduli):
+		return 4, nil
 	default:
 		// Custom sets serialize with tag 0; the caller must know the params.
 		return 0, nil
 	}
+}
+
+// isB1Moduli reports whether moduli is exactly the B1 residue basis, so
+// the structural tag match above stays as strict as the N/Q matches of the
+// single-modulus sets.
+func isB1Moduli(moduli []uint32) bool {
+	if len(moduli) != len(B1Moduli) {
+		return false
+	}
+	for i, q := range B1Moduli {
+		if moduli[i] != q {
+			return false
+		}
+	}
+	return true
 }
 
 // growZero extends dst by n zeroed bytes, returning the grown slice and the
@@ -59,6 +76,9 @@ func growZero(dst []byte, n int) (grown, tail []byte) {
 
 // appendPolys appends the packed concatenation of polys to dst.
 func appendPolys(dst []byte, p *Params, polys ...ntt.Poly) []byte {
+	if p.IsRNS() {
+		return appendPolysRNS(dst, p, polys...)
+	}
 	pb := p.PolyBytes()
 	dst, tail := growZero(dst, len(polys)*pb)
 	for i, poly := range polys {
@@ -120,15 +140,32 @@ func ParsePublicKeyBody(p *Params, body []byte) (*PublicKey, error) {
 	if len(body) != 2*pb {
 		return nil, fmt.Errorf("core: public key: body is %d bytes, want %d", len(body), 2*pb)
 	}
-	pk := &PublicKey{
-		Params: p,
-		A:      unpackPoly(body[:pb], p.N, p.CoeffBits()),
-		P:      unpackPoly(body[pb:], p.N, p.CoeffBits()),
-	}
+	pk := &PublicKey{Params: p, A: p.newPoly(), P: p.newPoly()}
+	unpackPolyP(pk.A, p, body[:pb])
+	unpackPolyP(pk.P, p, body[pb:])
 	if err := checkRange(p, pk.A, pk.P); err != nil {
 		return nil, fmt.Errorf("core: public key: %w", err)
 	}
 	return pk, nil
+}
+
+// unpackPolyP unpacks one packed polynomial body under p's layout: flat at
+// CoeffBits for single-modulus sets, per-channel rows for RNS sets.
+func unpackPolyP(dst ntt.Poly, p *Params, src []byte) {
+	if p.IsRNS() {
+		unpackPolyRNSInto(dst, p, src)
+		return
+	}
+	unpackPolyInto(dst, src, p.CoeffBits())
+}
+
+// packPolyP is the packing counterpart of unpackPolyP.
+func packPolyP(dst []byte, p *Params, poly ntt.Poly) {
+	if p.IsRNS() {
+		packPolyRNS(dst, p, poly)
+		return
+	}
+	packPoly(dst, poly, p.CoeffBits())
 }
 
 // ParsePublicKey reverses PublicKey.Bytes under the given parameters.
@@ -158,7 +195,8 @@ func ParsePrivateKeyBody(p *Params, body []byte) (*PrivateKey, error) {
 	if len(body) != p.PolyBytes() {
 		return nil, fmt.Errorf("core: private key: body is %d bytes, want %d", len(body), p.PolyBytes())
 	}
-	sk := &PrivateKey{Params: p, R2: unpackPoly(body, p.N, p.CoeffBits())}
+	sk := &PrivateKey{Params: p, R2: p.newPoly()}
+	unpackPolyP(sk.R2, p, body)
 	if err := checkRange(p, sk.R2); err != nil {
 		return nil, fmt.Errorf("core: private key: %w", err)
 	}
@@ -198,8 +236,8 @@ func (ct *Ciphertext) MarshalInto(dst []byte) error {
 	}
 	tag, _ := paramTag(p)
 	dst[0] = tag
-	packPoly(dst[1:1+p.PolyBytes()], ct.C1, p.CoeffBits())
-	packPoly(dst[1+p.PolyBytes():], ct.C2, p.CoeffBits())
+	packPolyP(dst[1:1+p.PolyBytes()], p, ct.C1)
+	packPolyP(dst[1+p.PolyBytes():], p, ct.C2)
 	return nil
 }
 
@@ -227,16 +265,16 @@ func ParseCiphertextInto(ct *Ciphertext, data []byte) error {
 // On error the ciphertext's contents are unspecified.
 func ParseCiphertextBodyInto(ct *Ciphertext, body []byte) error {
 	p := ct.Params
-	if len(ct.C1) != p.N || len(ct.C2) != p.N {
+	if len(ct.C1) != p.polyLen() || len(ct.C2) != p.polyLen() {
 		return fmt.Errorf("core: ciphertext: buffers hold %d/%d coefficients, want %d (use NewCiphertext)",
-			len(ct.C1), len(ct.C2), p.N)
+			len(ct.C1), len(ct.C2), p.polyLen())
 	}
 	pb := p.PolyBytes()
 	if len(body) != 2*pb {
 		return fmt.Errorf("core: ciphertext: body is %d bytes, want %d", len(body), 2*pb)
 	}
-	unpackPolyInto(ct.C1, body[:pb], p.CoeffBits())
-	unpackPolyInto(ct.C2, body[pb:], p.CoeffBits())
+	unpackPolyP(ct.C1, p, body[:pb])
+	unpackPolyP(ct.C2, p, body[pb:])
 	if err := checkRange(p, ct.C1, ct.C2); err != nil {
 		return fmt.Errorf("core: ciphertext: %w", err)
 	}
@@ -272,6 +310,9 @@ var streamChunkPool = sync.Pool{New: func() any { return new([streamChunkBufSize
 // chunk, returning the byte count written. It allocates no slice
 // proportional to the body.
 func writePolysTo(w io.Writer, p *Params, polys ...ntt.Poly) (int64, error) {
+	if p.IsRNS() {
+		return writePolysToRNS(w, p, polys...)
+	}
 	buf := streamChunkPool.Get().(*[streamChunkBufSize]byte)
 	defer streamChunkPool.Put(buf)
 	width := p.CoeffBits()
@@ -299,6 +340,9 @@ func writePolysTo(w io.Writer, p *Params, polys ...ntt.Poly) (int64, error) {
 // returning the byte count consumed. Coefficients are range-checked after
 // each poly completes, as the one-shot parsers do.
 func readPolysFrom(r io.Reader, p *Params, polys ...ntt.Poly) (int64, error) {
+	if p.IsRNS() {
+		return readPolysFromRNS(r, p, polys...)
+	}
 	buf := streamChunkPool.Get().(*[streamChunkBufSize]byte)
 	defer streamChunkPool.Put(buf)
 	width := p.CoeffBits()
@@ -329,7 +373,7 @@ func (pk *PublicKey) WriteBodyTo(w io.Writer) (int64, error) {
 // ReadPublicKeyBodyFrom streams a bare packed body of exactly 2·PolyBytes
 // from r into a fresh public key, returning the byte count consumed.
 func ReadPublicKeyBodyFrom(p *Params, r io.Reader) (*PublicKey, int64, error) {
-	pk := &PublicKey{Params: p, A: make(ntt.Poly, p.N), P: make(ntt.Poly, p.N)}
+	pk := &PublicKey{Params: p, A: p.newPoly(), P: p.newPoly()}
 	n, err := readPolysFrom(r, p, pk.A, pk.P)
 	if err != nil {
 		return nil, n, fmt.Errorf("core: public key: %w", err)
@@ -345,7 +389,7 @@ func (sk *PrivateKey) WriteBodyTo(w io.Writer) (int64, error) {
 // ReadPrivateKeyBodyFrom streams a bare packed body of exactly PolyBytes
 // from r into a fresh private key.
 func ReadPrivateKeyBodyFrom(p *Params, r io.Reader) (*PrivateKey, int64, error) {
-	sk := &PrivateKey{Params: p, R2: make(ntt.Poly, p.N)}
+	sk := &PrivateKey{Params: p, R2: p.newPoly()}
 	n, err := readPolysFrom(r, p, sk.R2)
 	if err != nil {
 		return nil, n, fmt.Errorf("core: private key: %w", err)
@@ -363,9 +407,9 @@ func (ct *Ciphertext) WriteBodyTo(w io.Writer) (int64, error) {
 // nothing. On error the ciphertext's contents are unspecified.
 func ReadCiphertextBodyFrom(ct *Ciphertext, r io.Reader) (int64, error) {
 	p := ct.Params
-	if len(ct.C1) != p.N || len(ct.C2) != p.N {
+	if len(ct.C1) != p.polyLen() || len(ct.C2) != p.polyLen() {
 		return 0, fmt.Errorf("core: ciphertext: buffers hold %d/%d coefficients, want %d (use NewCiphertext)",
-			len(ct.C1), len(ct.C2), p.N)
+			len(ct.C1), len(ct.C2), p.polyLen())
 	}
 	n, err := readPolysFrom(r, p, ct.C1, ct.C2)
 	if err != nil {
@@ -388,6 +432,9 @@ func checkBlob(p *Params, data []byte, polys int) error {
 }
 
 func checkRange(p *Params, polys ...ntt.Poly) error {
+	if p.IsRNS() {
+		return checkRangeRNS(p, polys...)
+	}
 	for _, poly := range polys {
 		for i, c := range poly {
 			if c >= p.Q {

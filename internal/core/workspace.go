@@ -24,6 +24,11 @@ type Workspace struct {
 	sampler sampler.Engine
 	uniform *rng.BitPool
 
+	// runner schedules the per-channel transforms of an RNS scheme (its
+	// job slots and WaitGroup are single-caller state, hence per
+	// workspace); nil for single-modulus sets.
+	runner *ntt.Runner
+
 	// Scratch polynomials: the three error polynomials of one encryption.
 	// DecryptInto reuses e1 as its accumulator. errs aliases all three as
 	// the reusable ForwardMany batch, so the fused transform takes a
@@ -50,11 +55,17 @@ func newWorkspace(s *Scheme, src rng.Source) (*Workspace, error) {
 		scheme:  s,
 		sampler: smp,
 		uniform: rng.NewBitPool(src),
-		e1:      make(ntt.Poly, p.N),
-		e2:      make(ntt.Poly, p.N),
-		e3:      make(ntt.Poly, p.N),
+		e1:      p.newPoly(),
+		e2:      p.newPoly(),
+		e3:      p.newPoly(),
 	}
 	w.errs = []ntt.Poly{w.e1, w.e2, w.e3}
+	if p.IsRNS() {
+		w.runner, err = ntt.NewRunner(s.engs)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	return w, nil
 }
 
@@ -79,8 +90,12 @@ func (w *Workspace) flushStats() {
 // by rejection from CoeffBits-bit strings (no modulo bias).
 func (w *Workspace) UniformPolyInto(dst ntt.Poly) {
 	p := w.scheme.Params
-	if len(dst) != p.N {
+	if len(dst) != p.polyLen() {
 		panic("core: UniformPolyInto length mismatch")
+	}
+	if p.IsRNS() {
+		w.rnsUniformPolyInto(dst)
+		return
 	}
 	bits := p.CoeffBits()
 	for i := range dst {
@@ -96,14 +111,19 @@ func (w *Workspace) UniformPolyInto(dst ntt.Poly) {
 
 // UniformPoly allocates and samples a fresh uniform polynomial.
 func (w *Workspace) UniformPoly() ntt.Poly {
-	out := make(ntt.Poly, w.scheme.Params.N)
+	out := w.scheme.Params.newPoly()
 	w.UniformPolyInto(out)
 	return out
 }
 
 // errorPolyInto fills dst with one X_σ error polynomial, reduced mod q,
-// through the scheme's selected sampler backend.
+// through the scheme's selected sampler backend (per residue channel for
+// RNS sets).
 func (w *Workspace) errorPolyInto(dst ntt.Poly) {
+	if w.scheme.Params.IsRNS() {
+		w.rnsErrorPolyInto(dst)
+		return
+	}
 	w.sampler.SamplePolyInto(dst, w.scheme.Params.Q)
 }
 
@@ -137,6 +157,9 @@ func (w *Workspace) GenerateKeys() (*PublicKey, *PrivateKey, error) {
 // their polynomials; only r1 lives in workspace scratch.
 func (w *Workspace) GenerateKeysShared(a ntt.Poly) (*PublicKey, *PrivateKey, error) {
 	p := w.scheme.Params
+	if p.IsRNS() {
+		return w.rnsGenerateKeysShared(a)
+	}
 	if len(a) != p.N {
 		return nil, nil, fmt.Errorf("core: ã has %d coefficients, want %d", len(a), p.N)
 	}
@@ -181,11 +204,14 @@ func (w *Workspace) EncryptInto(ct *Ciphertext, pk *PublicKey, msg []byte) error
 	if pk.Params != p {
 		return errors.New("core: public key parameter set mismatch")
 	}
-	if ct.Params != p || len(ct.C1) != p.N || len(ct.C2) != p.N {
+	if ct.Params != p || len(ct.C1) != p.polyLen() || len(ct.C2) != p.polyLen() {
 		return errors.New("core: ciphertext buffer parameter set mismatch")
 	}
 	if len(msg) != p.MessageBytes() {
 		return fmt.Errorf("core: message is %d bytes, want %d", len(msg), p.MessageBytes())
+	}
+	if p.IsRNS() {
+		return w.rnsEncryptInto(ct, pk, msg)
 	}
 	t := p.Tables
 	eng := w.scheme.eng
@@ -239,6 +265,9 @@ func (w *Workspace) DecryptInto(dst []byte, sk *PrivateKey, ct *Ciphertext) erro
 	}
 	if len(dst) != p.MessageBytes() {
 		return fmt.Errorf("core: message buffer is %d bytes, want %d", len(dst), p.MessageBytes())
+	}
+	if p.IsRNS() {
+		return w.rnsDecryptInto(dst, sk, ct)
 	}
 	t := p.Tables
 	eng := w.scheme.eng

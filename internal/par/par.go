@@ -1,0 +1,135 @@
+// Package par holds the process-wide parallel-execution primitives shared
+// by the layers that fan work out over cores: the bounded index-stealing
+// ParallelFor behind every batch API (extracted from internal/core so the
+// transform layer can schedule residue channels without an import cycle),
+// and a persistent worker Pool whose submission path allocates nothing —
+// the property the RNS channel-parallel NTT schedule needs to keep
+// encrypt/decrypt at zero allocations per operation.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor distributes indices [0, n) over up to `workers` goroutines
+// (workers ≤ 0 means GOMAXPROCS). startWorker runs once per goroutine and
+// returns the per-item function plus a cleanup run when that goroutine
+// drains — the hook each layer uses to acquire and release one pooled
+// workspace per worker. The first per-item error is returned; remaining
+// items still run (errors here are per-item validation failures, not
+// poison). This is the single bounded-fan-out implementation shared by the
+// core and public batch APIs.
+func ParallelFor(n, workers int, startWorker func() (do func(i int) error, done func())) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	runWorker := func() {
+		do, done := startWorker()
+		defer done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := do(i); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}
+	}
+	if workers == 1 {
+		runWorker()
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Task is one unit of work submitted to the persistent Pool. Implementors
+// are long-lived structs (a Runner's preallocated job slots), so the
+// interface value carries a pointer and a Submit allocates nothing.
+type Task interface {
+	Run()
+}
+
+// submission pairs a task with the WaitGroup its completion signals. It
+// travels through the pool's channel by value.
+type submission struct {
+	task Task
+	wg   *sync.WaitGroup
+}
+
+// Pool is a fixed set of persistent worker goroutines fed through one
+// buffered channel. Unlike ParallelFor — which spawns goroutines per call
+// and is therefore free to run arbitrary closures — the Pool trades
+// flexibility for a zero-allocation submission path: tasks are pointers
+// into caller-owned slots and the signalling WaitGroup is caller-owned
+// too, so nothing escapes per submission.
+type Pool struct {
+	tasks chan submission
+}
+
+// NewPool starts a pool of `workers` goroutines (≤ 0 means GOMAXPROCS).
+// The workers live for the life of the process; pools are meant to be
+// created once and shared (see Shared).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan submission, 4*workers)}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for s := range p.tasks {
+		s.task.Run()
+		s.wg.Done()
+	}
+}
+
+// Submit enqueues a task; wg.Done is called when it completes. The caller
+// must wg.Add before submitting and wg.Wait to join. Allocation-free.
+func (p *Pool) Submit(t Task, wg *sync.WaitGroup) {
+	p.tasks <- submission{task: t, wg: wg}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// Shared returns the process-wide pool, starting its GOMAXPROCS workers on
+// first use. All channel-parallel transform schedules share it, so the
+// total transform concurrency is bounded by core count no matter how many
+// schemes or workspaces exist.
+func Shared() *Pool {
+	sharedOnce.Do(func() { shared = NewPool(0) })
+	return shared
+}

@@ -1,0 +1,77 @@
+package rns
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Uint128 is the unsigned 128-bit accumulator CRT reconstruction runs in.
+// With the basis caps enforced by NewBasis (k ≤ 4 channels, composite
+// modulus ≤ 120 bits) every intermediate — per-channel products
+// (xᵢ·tᵢ mod qᵢ)·q̂ᵢ < 2^121, the k-term sum < 2^123, and the 4c decode
+// threshold < 2^122 — fits with headroom, so reconstruction never touches
+// math/big on the hot path.
+type Uint128 struct{ Hi, Lo uint64 }
+
+// Add returns u + v; the caller guarantees no 128-bit overflow.
+func (u Uint128) Add(v Uint128) Uint128 {
+	lo, carry := bits.Add64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Add64(u.Hi, v.Hi, carry)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// sub returns u - v and the borrow out (1 when v > u).
+func (u Uint128) sub(v Uint128) (Uint128, uint64) {
+	lo, borrow := bits.Sub64(u.Lo, v.Lo, 0)
+	hi, borrow := bits.Sub64(u.Hi, v.Hi, borrow)
+	return Uint128{Hi: hi, Lo: lo}, borrow
+}
+
+// Sub returns u - v; the caller guarantees v ≤ u.
+func (u Uint128) Sub(v Uint128) Uint128 {
+	d, _ := u.sub(v)
+	return d
+}
+
+// Less reports u < v.
+func (u Uint128) Less(v Uint128) bool {
+	_, borrow := u.sub(v)
+	return borrow != 0
+}
+
+// MulSmall returns u·y; the caller guarantees the product fits 128 bits.
+func (u Uint128) MulSmall(y uint64) Uint128 {
+	hi, lo := bits.Mul64(u.Lo, y)
+	return Uint128{Hi: hi + u.Hi*y, Lo: lo}
+}
+
+// Shl2 returns 4u; the caller guarantees u < 2^126.
+func (u Uint128) Shl2() Uint128 {
+	return Uint128{Hi: u.Hi<<2 | u.Lo>>62, Lo: u.Lo << 2}
+}
+
+// Mod64 returns u mod m for a word-sized modulus.
+func (u Uint128) Mod64(m uint64) uint64 {
+	_, rem := bits.Div64(u.Hi%m, u.Lo, m)
+	return rem
+}
+
+// Big returns u as a math/big integer (test and oracle paths only).
+func (u Uint128) Big() *big.Int {
+	v := new(big.Int).SetUint64(u.Hi)
+	v.Lsh(v, 64)
+	return v.Or(v, new(big.Int).SetUint64(u.Lo))
+}
+
+// u128FromBig converts a non-negative big integer < 2^128.
+func u128FromBig(v *big.Int) Uint128 {
+	var u Uint128
+	words := v.Bits()
+	if len(words) > 0 {
+		u.Lo = uint64(words[0])
+	}
+	if len(words) > 1 {
+		u.Hi = uint64(words[1])
+	}
+	return u
+}

@@ -79,7 +79,11 @@ func (m *Modulus) BitLen() uint { return m.bitLen }
 // which is the largest intermediate the NTT butterflies produce.
 func (m *Modulus) Reduce(x uint64) uint32 {
 	// q̂ = floor(x * barrett / 2^shift) underestimates floor(x/Q) by at most 1.
-	qhat := (x * m.barrett) >> m.barrettShift
+	// The product needs the full 128 bits: for q past ~2^21 the residue
+	// product x (up to 2^(2·bitLen+1)) times the Barrett constant no longer
+	// fits in a uint64, so a single-word multiply would silently wrap.
+	hi, lo := bits.Mul64(x, m.barrett)
+	qhat := hi<<(64-m.barrettShift) | lo>>m.barrettShift
 	r := x - qhat*uint64(m.Q)
 	if r >= uint64(m.Q) {
 		r -= uint64(m.Q)

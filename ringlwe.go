@@ -67,6 +67,29 @@ func P2() *Params { return &Params{inner: core.P2()} }
 // Evaluator); prefer P1/P2 for plain encryption.
 func A1() *Params { return &Params{inner: core.A1()} }
 
+// B1 returns the large-parameter RNS set (n=1024, k=3 residue channels,
+// ~87-bit composite modulus, σ = P1's 11.31/√2π): coefficients live in
+// residue number system form, one 29-bit prime channel per row, with CRT
+// reconstruction only at decode time. The enormous decoding margin pushes
+// MaxAddends into the thousands (it pins at the 65535 wire cap), so B1 is
+// the set for deep encrypted aggregation; see the Evaluator. Q reports 0
+// for RNS sets — use Moduli and QBits instead.
+func B1() *Params { return &Params{inner: core.B1()} }
+
+// CustomRNS builds a non-standard multi-modulus (RNS) parameter set: n a
+// power-of-two multiple of 8, and moduli 2–4 distinct word-sized primes,
+// each ≡ 1 (mod 2n), whose product is the composite coefficient modulus
+// (≤ 120 bits). sNum/sDen set the Gaussian parameter s = σ√(2π) as a
+// rational. Intended for experiments; prefer B1. To serialize objects of
+// the set self-describingly, claim an ID with RegisterParams.
+func CustomRNS(name string, n int, moduli []uint32, sNum, sDen int64) (*Params, error) {
+	p, err := core.NewRNSParams(name, n, moduli, sNum, sDen, 90)
+	if err != nil {
+		return nil, err
+	}
+	return &Params{inner: p}, nil
+}
+
 // Custom builds a non-standard parameter set: n must be a power of two
 // multiple of 8, q a prime with q ≡ 1 (mod 2n), and sNum/sDen the Gaussian
 // parameter s = σ√(2π) as a rational. Intended for experiments; the two
@@ -86,8 +109,33 @@ func (p *Params) Name() string { return p.inner.Name }
 // N returns the ring dimension.
 func (p *Params) N() int { return p.inner.N }
 
-// Q returns the coefficient modulus.
+// Q returns the coefficient modulus, or 0 for RNS sets, whose composite
+// modulus exceeds a machine word — use Moduli and QBits for those.
 func (p *Params) Q() uint32 { return p.inner.Q }
+
+// IsRNS reports whether the set stores coefficients in residue number
+// system form (multiple prime channels, composite modulus), as B1 does.
+func (p *Params) IsRNS() bool { return p.inner.IsRNS() }
+
+// Moduli returns the residue primes of an RNS set (a copy), ordered as the
+// serialized residue rows are; nil for single-modulus sets.
+func (p *Params) Moduli() []uint32 {
+	if !p.inner.IsRNS() {
+		return nil
+	}
+	out := make([]uint32, len(p.inner.Basis.Moduli))
+	copy(out, p.inner.Basis.Moduli)
+	return out
+}
+
+// QBits returns the bit length of the coefficient modulus — the composite
+// product for RNS sets (87 for B1), the single prime's length otherwise.
+func (p *Params) QBits() int {
+	if p.inner.IsRNS() {
+		return p.inner.Basis.QBits
+	}
+	return int(p.inner.Mod.BitLen())
+}
 
 // Sigma returns the Gaussian standard deviation.
 func (p *Params) Sigma() float64 { return p.inner.Sigma }

@@ -19,7 +19,7 @@ import (
 //	offset 3    object kind (public key, private key, ciphertext,
 //	            encapsulated key, aggregate ciphertext)
 //	offset 4–5  registered parameter-set ID, big-endian (1 = P1, 2 = P2,
-//	            3 = A1; Custom sets claim an ID via RegisterParams)
+//	            3 = A1, 4 = B1; Custom sets claim an ID via RegisterParams)
 //	offset 6–   the packed-coefficient body of the legacy format
 //
 // so a receiver recovers the parameter set from the blob itself
@@ -74,12 +74,13 @@ func WireKind(data []byte) (kind byte, ok bool) {
 // has claimed. Test with errors.Is.
 var ErrUnknownParams = errors.New("ringlwe: unregistered parameter-set ID")
 
-// wireIDP1, wireIDP2 and wireIDA1 are the pre-registered IDs of the
-// built-in sets.
+// wireIDP1, wireIDP2, wireIDA1 and wireIDB1 are the pre-registered IDs of
+// the built-in sets.
 const (
 	wireIDP1 uint16 = 1
 	wireIDP2 uint16 = 2
 	wireIDA1 uint16 = 3
+	wireIDB1 uint16 = 4
 )
 
 // paramsRegistry maps registered wire IDs to parameter sets. The standard
@@ -97,14 +98,15 @@ func registryInit() {
 			wireIDP1: P1(),
 			wireIDP2: P2(),
 			wireIDA1: A1(),
+			wireIDB1: B1(),
 		}
 	})
 }
 
 // RegisterParams claims wire ID id for the parameter set p, making blobs
 // of that set self-describing: after registration, MarshalBinary embeds id
-// and the ParseAny functions recover p from it. IDs 1–3 are the built-in
-// P1, P2 and A1; Custom sets must pick a nonzero ID of their own.
+// and the ParseAny functions recover p from it. IDs 1–4 are the built-in
+// P1, P2, A1 and B1; Custom sets must pick a nonzero ID of their own.
 // Registering the same (id, params) pair again is a no-op; claiming an ID
 // already bound to a different set, or registering one set under two IDs,
 // is an error.
